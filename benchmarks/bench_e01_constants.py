@@ -1,0 +1,15 @@
+"""Bench E1 / Table 1: theorem constants and proof-inequality verification."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_e01_constants(run_once, record_result):
+    result = run_once(get_experiment("e01"), scale="quick")
+    record_result(result)
+    conds = result.extra_tables["Proof-inequality values (must exceed 1)"]
+    assert all(row["all > 1"] for row in conds)
+    opt = result.extra_tables["Free-constant re-optimization"]
+    for row in opt:
+        assert row["re-optimized alpha"] == pytest.approx(row["paper alpha"], abs=0.02)

@@ -1,0 +1,15 @@
+"""Bench E2 / Figure 1: EDF acceptance ratio vs normalized utilization."""
+
+from repro.experiments import get_experiment
+
+
+def test_e02_accept_edf(run_once, record_result):
+    result = run_once(get_experiment("e02"), scale="quick")
+    record_result(result)
+    # shape: the theorem band (alpha=2) dominates the exact adversary,
+    # which dominates the alpha=1 test, at every utilization point
+    for row in result.rows:
+        assert row["FF-EDF(a=2)"] >= row["exact-partitioned"] - 1e-9
+        assert row["exact-partitioned"] >= row["FF-EDF(a=1)"] - 1e-9
+    # and the curve collapses at the capacity wall
+    assert result.rows[-1]["FF-EDF(a=1)"] <= result.rows[0]["FF-EDF(a=1)"]

@@ -1,0 +1,12 @@
+"""Bench E3 / Figure 2: RMS acceptance ratio vs normalized utilization."""
+
+from repro.experiments import get_experiment
+
+
+def test_e03_accept_rms(run_once, record_result):
+    result = run_once(get_experiment("e03"), scale="quick")
+    record_result(result)
+    # the sufficiency ladder LL <= hyperbolic <= RTA holds pointwise
+    for row in result.rows:
+        assert row["FF-RMS-RTA(a=1)"] >= row["FF-RMS-hyp(a=1)"] - 1e-9
+        assert row["FF-RMS-hyp(a=1)"] >= row["FF-RMS-LL(a=1)"] - 1e-9

@@ -1,0 +1,13 @@
+"""Bench E4 / Figure 3: empirical speedup factor, EDF."""
+
+from repro.experiments import get_experiment
+
+
+def test_e04_speedup_edf(run_once, record_result):
+    result = run_once(get_experiment("e04"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        assert row["bound respected"], (
+            f"Theorem bound violated for {row['adversary']} adversary"
+        )
+        assert row["max a*"] <= row["bound"] + 1e-2

@@ -1,0 +1,14 @@
+"""Bench E5 / Figure 4: empirical speedup factor, RMS."""
+
+from repro.experiments import get_experiment
+
+
+def test_e05_speedup_rms(run_once, record_result):
+    result = run_once(get_experiment("e05"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        assert row["bound respected"]
+    # the LL-admission penalty: RMS alpha* exceeds 1 on essentially every
+    # near-capacity instance (median strictly above 1)
+    partitioned = next(r for r in result.rows if r["adversary"] == "partitioned")
+    assert partitioned["median a*"] > 1.0

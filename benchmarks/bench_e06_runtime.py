@@ -1,0 +1,31 @@
+"""Bench E6 / Table 2: runtime scaling of the first-fit test.
+
+Besides the macro table, this module micro-benchmarks the partitioner
+kernel itself with pytest-benchmark's statistics (many rounds) at a few
+(n, m) points — the numbers behind the O(nm) claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import first_fit_partition
+from repro.experiments import get_experiment
+from repro.workloads.builder import generate_taskset
+from repro.workloads.platforms import geometric_platform
+
+
+def test_e06_runtime_table(run_once, record_result):
+    result = run_once(get_experiment("e06"), scale="quick")
+    record_result(result)
+    assert all(row["ms"] > 0 for row in result.rows)
+
+
+@pytest.mark.parametrize("n,m", [(128, 4), (512, 8), (2048, 16)])
+def test_first_fit_kernel(benchmark, n, m):
+    rng = np.random.default_rng(1)
+    platform = geometric_platform(m, 8.0)
+    taskset = generate_taskset(
+        rng, n, 0.95 * platform.total_speed, u_max=platform.fastest_speed
+    )
+    result = benchmark(first_fit_partition, taskset, platform, "edf", alpha=2.0)
+    assert result.success or result.failed_task is not None

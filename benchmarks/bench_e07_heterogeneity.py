@@ -1,0 +1,16 @@
+"""Bench E7 / Figure 5: heterogeneity sweep at constant capacity."""
+
+from repro.experiments import get_experiment
+
+
+def test_e07_heterogeneity(run_once, record_result):
+    result = run_once(get_experiment("e07"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        # Theorem I.1's bound holds at every speed spread
+        assert row["max alpha*"] <= 2.0 + 1e-2
+        # LP weakly dominates first-fit acceptance (column names carry the
+        # utilization point, so resolve them by prefix)
+        ff = next(v for k, v in row.items() if k.startswith("FF-EDF accept"))
+        lp = next(v for k, v in row.items() if k.startswith("LP accept"))
+        assert lp >= ff - 1e-9

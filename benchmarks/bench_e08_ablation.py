@@ -1,0 +1,16 @@
+"""Bench E8 / Table 3: ordering and fit-rule ablation."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_e08_ablation(run_once, record_result):
+    result = run_once(get_experiment("e08"), scale="quick")
+    record_result(result)
+    best = max(row["acceptance"] for row in result.rows)
+    paper = next(r for r in result.rows if "paper" in r["strategy"])
+    assert paper["acceptance"] == pytest.approx(best, abs=0.05)
+    # increasing-utilization onto fast-first is the worst corner
+    worst = min(result.rows, key=lambda r: r["acceptance"])
+    assert "util-asc" in worst["strategy"]

@@ -1,0 +1,13 @@
+"""Bench E9 / Figure 6: the EDF-vs-RMS acceptance gap."""
+
+from repro.experiments import get_experiment
+
+
+def test_e09_edf_vs_rms(run_once, record_result):
+    result = run_once(get_experiment("e09"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        assert row["FF-EDF accept"] >= row["FF-RMS-LL accept"] - 1e-9
+    # the LL bound column decreases toward ln 2
+    bounds = [row["LL bound n(2^(1/n)-1)"] for row in result.rows]
+    assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,12 @@
+"""Bench E10 / Table 4: partitioned-vs-any adversary gap audit."""
+
+from repro.experiments import get_experiment
+
+
+def test_e10_adversary_gap(run_once, record_result):
+    result = run_once(get_experiment("e10"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        if "bound respected" in row:
+            assert row["bound respected"]
+    assert sum(row["count"] for row in result.rows) > 0

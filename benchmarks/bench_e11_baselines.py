@@ -1,0 +1,13 @@
+"""Bench E11 / Table 5: agreement with Andersson-Tovar and the PTAS."""
+
+from repro.experiments import get_experiment
+
+
+def test_e11_baselines(run_once, record_result):
+    result = run_once(get_experiment("e11"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        if row["test"] in ("ours(a=2)", "AT[2](a=3)", "PTAS(eps=.25)"):
+            assert row["false rejections"] == 0, (
+                f"{row['test']} rejected a partitioned-feasible instance"
+            )

@@ -1,0 +1,13 @@
+"""Bench E12 / Figure 7: the constant-optimization frontier."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_e12_frontier(run_once, record_result):
+    result = run_once(get_experiment("e12"), scale="quick")
+    record_result(result)
+    opt = result.extra_tables["Global optimum over all constants"]
+    for row in opt:
+        assert row["global min alpha"] == pytest.approx(row["paper"], abs=0.02)

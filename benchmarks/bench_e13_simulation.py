@@ -1,0 +1,13 @@
+"""Bench E13 / Table 6: simulation cross-validation of accepted partitions."""
+
+from repro.experiments import get_experiment
+
+
+def test_e13_simulation(run_once, record_result):
+    result = run_once(get_experiment("e13"), scale="quick")
+    record_result(result)
+    control = result.rows[-1]
+    assert control["deadline misses"] > 0  # overload control must miss
+    for row in result.rows[:-1]:
+        assert row["deadline misses"] == 0
+        assert row["validator errors"] == 0

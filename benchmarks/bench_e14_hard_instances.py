@@ -1,0 +1,13 @@
+"""Bench E14 / Table 7: adversarial lower bounds via hard-instance search."""
+
+from repro.experiments import get_experiment
+
+
+def test_e14_hard_instances(run_once, record_result):
+    result = run_once(get_experiment("e14"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        # lower bounds must respect the theorems' upper bounds
+        assert row["searched max alpha*"] <= row["upper bound (theorem)"] + 2e-3
+        # and first-fit is provably not optimal: hardness above 1 exists
+        assert row["searched max alpha*"] > 1.0

@@ -1,0 +1,10 @@
+"""Bench E15 / Table 8: first-fit packing-anomaly scan."""
+
+from repro.experiments import get_experiment
+
+
+def test_e15_anomalies(run_once, record_result):
+    result = run_once(get_experiment("e15"), scale="quick")
+    record_result(result)
+    for row in result.rows:
+        assert row["non-monotone profiles"] <= row["instances with a transition"]

@@ -1,0 +1,12 @@
+"""Bench E16 / Table 9: migration vs partitioning, executed."""
+
+from repro.experiments import get_experiment
+
+
+def test_e16_migration(run_once, record_result):
+    result = run_once(get_experiment("e16"), scale="quick")
+    record_result(result)
+    by_family = {row["family"]: row for row in result.rows}
+    assert by_family["Dhall (2 light + heavy)"]["partitioned FF-EDF clean"] == 1.0
+    assert by_family["chunky thirds (3 x u~0.6)"]["LP feasible"] == 1.0
+    assert by_family["chunky thirds (3 x u~0.6)"]["partitioned FF-EDF clean"] == 0.0

@@ -1,0 +1,13 @@
+"""Bench E17 / Table 10: breakdown utilization distributions."""
+
+from repro.experiments import get_experiment
+
+
+def test_e17_breakdown(run_once, record_result):
+    result = run_once(get_experiment("e17"), scale="quick")
+    record_result(result)
+    means = {row["test"]: row["mean breakdown U/S"] for row in result.rows}
+    # the sufficiency ladder shows up as ordered breakdown capacity
+    assert means["FF-RMS-LL"] <= means["FF-RMS-RTA"] + 1e-9
+    assert means["FF-RMS-RTA"] <= means["FF-EDF"] + 1e-9
+    assert means["FF-EDF"] <= means["exact-partitioned"] + 1e-9

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_eXX`` module regenerates one evaluation artifact (DESIGN.md
+§3) under pytest-benchmark timing and archives the rendered table to
+``results/eXX.txt`` (+ ``.csv``) so the numbers in EXPERIMENTS.md can be
+traced to a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.io_.tables import write_csv
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Persist an ExperimentResult's tables under results/."""
+
+    def save(result: ExperimentResult) -> None:
+        stem = results_dir / result.experiment_id
+        stem.with_suffix(".txt").write_text(result.render() + "\n")
+        write_csv(stem.with_suffix(".csv"), result.rows)
+
+    return save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a whole-experiment callable exactly once under timing.
+
+    Macro-experiments are seconds-long and internally randomized from a
+    fixed seed; a single timed round is the honest measurement.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Mini research study: how tight are the paper's bounds in practice?
+
+Reproduces the core of experiments E4/E5 at laptop scale: generate
+instances a partitioned adversary can certifiably schedule, measure the
+minimum speed augmentation first-fit needs, and compare the distribution
+to the theorem bounds (2 for EDF, 1+sqrt2 for RMS).  Prints a CDF sketch
+in ASCII.
+
+Run:  python examples/empirical_ratio_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.speedup import empirical_speedup_study
+from repro.analysis.stats import empirical_cdf
+from repro.workloads.platforms import geometric_platform
+
+
+def ascii_cdf(alphas, bound: float, width: int = 50) -> str:
+    xs, ys = empirical_cdf(list(alphas))
+    lines = []
+    grid = np.linspace(1.0, bound, 12)
+    for g in grid:
+        frac = float(np.interp(g, xs, ys, left=0.0, right=1.0))
+        bar = "#" * int(frac * width)
+        lines.append(f"  alpha <= {g:5.3f} | {bar:<{width}} {frac:5.1%}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2016)
+    platform = geometric_platform(4, 8.0)
+    print(f"platform: {platform}\n")
+
+    for scheduler in ("edf", "rms"):
+        study = empirical_speedup_study(
+            rng,
+            platform,
+            scheduler=scheduler,  # type: ignore[arg-type]
+            adversary="partitioned",
+            samples=60,
+            load=0.99,
+        )
+        print(
+            f"{scheduler.upper()} vs partitioned adversary "
+            f"(theorem bound alpha = {study.bound:.4g}):"
+        )
+        print(f"  measured: {study.summary}")
+        print(
+            f"  bound respected on all {len(study.alphas)} instances: "
+            f"{study.bound_respected}"
+        )
+        print(ascii_cdf(study.alphas, study.bound))
+        print(
+            f"  tightness (max observed / bound): {study.tightness:.2f} — "
+            "random instances sit far below the worst case.\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

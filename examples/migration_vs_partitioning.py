@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Migration vs partitioning: watching the adversary classes diverge.
+
+The paper compares its partitioned test against two adversaries — a
+partitioned one (Theorems I.1/I.2) and a fully migratory one via the §II
+LP (Theorems I.3/I.4).  This example executes both worlds on the two
+classic separating instances:
+
+1. **Dhall's effect** — one heavy + m light tasks: global EDF (with free
+   migration!) misses deadlines while the paper's partitioner places the
+   set trivially; migration is not automatically better.
+2. **Chunky thirds** — three u≈2/3 tasks on two machines: no partition
+   exists, the LP adversary schedules it (fluid/McNaughton), and global
+   EDF *also* fails — the LP is strictly stronger than any concrete
+   policy, which is why the paper's 2.98/3.34 analyses target it.
+
+Run:  python examples/migration_vs_partitioning.py
+"""
+
+from repro.core.feasibility import feasibility_test
+from repro.core.lp import lp_feasible, lp_stress
+from repro.core.model import Platform, Task, TaskSet
+from repro.sim.global_sched import simulate_global
+from repro.sim.jobs import PeriodicSource
+from repro.sim.multiprocessor import simulate_partitioned
+
+PLATFORM = Platform.from_speeds([1.0, 1.0])
+
+
+def global_run(taskset: TaskSet, horizon: float):
+    tasks = list(taskset)
+    sources = [PeriodicSource(t, i) for i, t in enumerate(tasks)]
+    return simulate_global(tasks, [1.0, 1.0], "edf", sources, horizon)
+
+
+def report(name: str, taskset: TaskSet, horizon: float) -> None:
+    print(f"--- {name} ---")
+    print(f"tasks: {[(t.name, round(t.utilization, 3)) for t in taskset]}")
+    print(f"LP (ideal migratory adversary): "
+          f"{'feasible' if lp_feasible(taskset, PLATFORM) else 'infeasible'} "
+          f"(stress beta* = {lp_stress(taskset, PLATFORM):.3f})")
+
+    ff = feasibility_test(taskset, PLATFORM, "edf", "partitioned", alpha=1.0)
+    if ff.accepted:
+        sim = simulate_partitioned(taskset, PLATFORM, ff.partition, "edf",
+                                   horizon=horizon)
+        print(f"partitioned FF-EDF: placed; simulated {sim.total_jobs} jobs, "
+              f"{sim.total_misses} misses")
+    else:
+        print("partitioned FF-EDF: no placement found at speed 1")
+
+    g = global_run(taskset, horizon)
+    print(f"global EDF (migratory): {len(g.misses)} of {len(g.jobs)} jobs "
+          f"missed, {g.migrations} migrations\n")
+
+
+def main() -> None:
+    dhall = TaskSet(
+        [
+            Task(1, 10, name="light0"),
+            Task(1, 10, name="light1"),
+            Task(11.5, 12, name="heavy"),
+        ]
+    )
+    report("Dhall's effect (migration loses)", dhall, horizon=60.0)
+
+    thirds = TaskSet(
+        [Task(8, 12, name=f"chunk{i}") for i in range(3)]
+    )
+    report("Chunky thirds (only the LP wins)", thirds, horizon=12.0)
+
+    print(
+        "Takeaway: the partitioned adversary (Theorem I.1's alpha = 2) and\n"
+        "the LP adversary (Theorem I.3's alpha = 2.98) genuinely differ, and\n"
+        "no concrete migratory policy reaches the LP — the price the paper\n"
+        "pays to compare against it is that extra 0.98 of augmentation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Allows legacy editable installs (``pip install -e . --no-use-pep517
+--no-build-isolation`` or ``python setup.py develop``) on machines without
+the ``wheel`` package or network access; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

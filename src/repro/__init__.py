@@ -1,0 +1,63 @@
+"""repro — partitioned feasibility tests for sporadic tasks on
+heterogeneous (related) machines.
+
+Reproduction of *Ahuja, Lu, Moseley, "Partitioned Feasibility Tests for
+Sporadic Tasks on Heterogeneous Machines" (IPPS 2016)*: the §III first-fit
+partitioner, the four approximate feasibility tests (Theorems I.1–I.4),
+the §II feasibility LP, exact adversaries, a discrete-event schedule
+simulator, synthetic workload generators, and the E1–E17 evaluation suite.
+
+Quickstart::
+
+    from repro import TaskSet, Task, Platform, edf_test_vs_partitioned
+
+    tasks = TaskSet([Task(wcet=2, period=10), Task(wcet=6, period=8)])
+    platform = Platform.from_speeds([1.0, 2.0])
+    report = edf_test_vs_partitioned(tasks, platform)
+    print(report.guarantee)
+"""
+
+from .core import (
+    ALPHA_EDF_LP,
+    ALPHA_EDF_PARTITIONED,
+    ALPHA_RMS_LP,
+    ALPHA_RMS_PARTITIONED,
+    FeasibilityReport,
+    Machine,
+    PartitionResult,
+    Platform,
+    Task,
+    TaskSet,
+    edf_test_vs_any,
+    edf_test_vs_partitioned,
+    feasibility_test,
+    first_fit_partition,
+    lp_feasible,
+    lp_stress,
+    rms_test_vs_any,
+    rms_test_vs_partitioned,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALPHA_EDF_LP",
+    "ALPHA_EDF_PARTITIONED",
+    "ALPHA_RMS_LP",
+    "ALPHA_RMS_PARTITIONED",
+    "FeasibilityReport",
+    "Machine",
+    "PartitionResult",
+    "Platform",
+    "Task",
+    "TaskSet",
+    "edf_test_vs_any",
+    "edf_test_vs_partitioned",
+    "feasibility_test",
+    "first_fit_partition",
+    "lp_feasible",
+    "lp_stress",
+    "rms_test_vs_any",
+    "rms_test_vs_partitioned",
+    "__version__",
+]

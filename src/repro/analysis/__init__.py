@@ -1,0 +1,55 @@
+"""Measurement machinery: acceptance sweeps, min-alpha search, speedup
+studies, runtime scaling, statistics."""
+
+from .acceptance import (
+    AcceptanceCurve,
+    Tester,
+    acceptance_sweep,
+    exact_edf_tester,
+    exact_rms_tester,
+    ff_tester,
+    lp_tester,
+)
+from .breakdown import BreakdownStudy, breakdown_utilizations
+from .hard_instances import HardInstance, search_hard_instance
+from .sensitivity import (
+    TaskSlack,
+    critical_tasks,
+    ff_acceptance,
+    per_task_slack,
+    system_scaling_margin,
+)
+from .ratio import MinAlphaResult, alpha_success_profile, min_alpha_first_fit
+from .runtime import RuntimePoint, runtime_scaling
+from .speedup import SpeedupStudy, empirical_speedup_study
+from .stats import Summary, bootstrap_ci, empirical_cdf, summarize
+
+__all__ = [
+    "AcceptanceCurve",
+    "Tester",
+    "acceptance_sweep",
+    "exact_edf_tester",
+    "exact_rms_tester",
+    "ff_tester",
+    "lp_tester",
+    "BreakdownStudy",
+    "breakdown_utilizations",
+    "HardInstance",
+    "search_hard_instance",
+    "TaskSlack",
+    "critical_tasks",
+    "ff_acceptance",
+    "per_task_slack",
+    "system_scaling_margin",
+    "MinAlphaResult",
+    "alpha_success_profile",
+    "min_alpha_first_fit",
+    "RuntimePoint",
+    "runtime_scaling",
+    "SpeedupStudy",
+    "empirical_speedup_study",
+    "Summary",
+    "bootstrap_ci",
+    "empirical_cdf",
+    "summarize",
+]

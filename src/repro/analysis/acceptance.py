@@ -1,0 +1,141 @@
+"""Acceptance-ratio sweeps (experiments E2/E3/E7/E9).
+
+An acceptance sweep generates many random task sets per normalized-
+utilization point and measures, per tester, the fraction accepted — the
+schedulability-curve methodology standard in this literature.  Testers
+are plain predicates ``(taskset, platform) -> bool`` so the same sweep
+machinery serves first-fit variants, the LP oracle, exact adversaries and
+the PTAS alike (:func:`ff_tester` etc. build the common ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.exact import (
+    exact_partitioned_edf_feasible,
+    exact_partitioned_rms_feasible,
+)
+from ..core.lp import lp_feasible
+from ..core.model import Platform, TaskSet
+from ..core.partition import first_fit_partition
+from ..workloads.builder import generate_taskset
+
+__all__ = [
+    "Tester",
+    "ff_tester",
+    "lp_tester",
+    "exact_edf_tester",
+    "exact_rms_tester",
+    "AcceptanceCurve",
+    "acceptance_sweep",
+]
+
+Tester = Callable[[TaskSet, Platform], bool]
+
+
+def ff_tester(test: str, alpha: float = 1.0) -> Tester:
+    """First-fit acceptance predicate for an admission test and alpha."""
+
+    def run(taskset: TaskSet, platform: Platform) -> bool:
+        return first_fit_partition(taskset, platform, test, alpha=alpha).success
+
+    return run
+
+
+def lp_tester() -> Tester:
+    """The §II LP oracle (necessary condition for any scheduler)."""
+    return lp_feasible
+
+
+def exact_edf_tester(node_limit: int = 500_000) -> Tester:
+    """Exact partitioned-EDF adversary; undecided (budget) counts as
+    accepted, keeping the curve an upper bound as intended."""
+
+    def run(taskset: TaskSet, platform: Platform) -> bool:
+        verdict = exact_partitioned_edf_feasible(
+            taskset, platform, node_limit=node_limit
+        )
+        return verdict is not False
+
+    return run
+
+
+def exact_rms_tester(node_limit: int = 100_000) -> Tester:
+    """Exact partitioned-RMS (RTA) adversary; undecided counts as accepted."""
+
+    def run(taskset: TaskSet, platform: Platform) -> bool:
+        verdict = exact_partitioned_rms_feasible(
+            taskset, platform, node_limit=node_limit
+        )
+        return verdict is not False
+
+    return run
+
+
+@dataclass(frozen=True)
+class AcceptanceCurve:
+    """One sweep's results: rows = normalized utilizations, cols = testers."""
+
+    normalized_utilizations: tuple[float, ...]
+    #: tester name -> acceptance rate per utilization point
+    rates: Mapping[str, tuple[float, ...]]
+    samples: int
+    n_tasks: int
+
+    def as_rows(self) -> list[dict[str, float]]:
+        """Table rows: one dict per utilization point."""
+        rows = []
+        for k, u in enumerate(self.normalized_utilizations):
+            row: dict[str, float] = {"U/S": u}
+            for name, series in self.rates.items():
+                row[name] = series[k]
+            rows.append(row)
+        return rows
+
+
+def acceptance_sweep(
+    rng: np.random.Generator,
+    platform: Platform,
+    testers: Mapping[str, Tester],
+    *,
+    n_tasks: int = 24,
+    normalized_utilizations: Sequence[float] = (
+        0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+    ),
+    samples: int = 50,
+    u_max_fraction: float = 1.0,
+) -> AcceptanceCurve:
+    """Measure acceptance rates on UUniFast task sets.
+
+    At each point ``x``, task sets have total utilization ``x *
+    total_speed`` with per-task utilization capped at ``u_max_fraction *
+    fastest_speed`` (tasks larger than the fastest machine are hopeless
+    for every tester and would only flatten all curves equally).
+    """
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    cap = u_max_fraction * platform.fastest_speed
+    names = list(testers)
+    counts = {name: [0] * len(normalized_utilizations) for name in names}
+    for k, x in enumerate(normalized_utilizations):
+        total = x * platform.total_speed
+        for _ in range(samples):
+            taskset = generate_taskset(
+                rng, n_tasks, total, u_max=min(cap, total)
+            )
+            for name in names:
+                if testers[name](taskset, platform):
+                    counts[name][k] += 1
+    rates = {
+        name: tuple(c / samples for c in counts[name]) for name in names
+    }
+    return AcceptanceCurve(
+        normalized_utilizations=tuple(float(x) for x in normalized_utilizations),
+        rates=rates,
+        samples=samples,
+        n_tasks=n_tasks,
+    )

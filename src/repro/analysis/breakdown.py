@@ -1,0 +1,87 @@
+"""Breakdown utilization: capacity-normalized acceptance thresholds.
+
+The *breakdown utilization* of a test on an instance shape is the largest
+normalized utilization ``U / total_speed`` at which the test still
+accepts when the shape is scaled up uniformly (Lehoczky, Sha & Ding's
+classic metric, lifted to the partitioned heterogeneous setting).  Where
+acceptance-ratio curves (E2/E3) sample fixed utilization points,
+breakdown distributions characterize the whole transition in one number
+per instance — the metric experiment E17 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.model import Platform
+from ..workloads.builder import generate_taskset
+from .acceptance import Tester
+from .sensitivity import system_scaling_margin
+from .stats import Summary, summarize
+
+__all__ = ["BreakdownStudy", "breakdown_utilizations"]
+
+
+@dataclass(frozen=True)
+class BreakdownStudy:
+    """Breakdown distributions, one sample list per tester."""
+
+    samples: Mapping[str, tuple[float, ...]]
+    platform: Platform
+    n_tasks: int
+
+    def summary(self, tester: str) -> Summary:
+        return summarize(list(self.samples[tester]))
+
+
+def breakdown_utilizations(
+    rng: np.random.Generator,
+    platform: Platform,
+    testers: Mapping[str, Tester],
+    *,
+    n_tasks: int = 16,
+    samples: int = 50,
+    base_fraction: float = 0.3,
+    tol: float = 1e-3,
+) -> BreakdownStudy:
+    """Measure breakdown utilization distributions.
+
+    Each sample draws one instance *shape* at ``base_fraction`` of the
+    platform capacity (low enough that every tester accepts it), then
+    scales it up per tester until rejection; the breakdown value is the
+    normalized utilization at the acceptance edge.  All testers see the
+    same shapes, so their distributions are directly comparable.
+    """
+    if not 0 < base_fraction < 1:
+        raise ValueError("base_fraction must be in (0, 1)")
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    capacity = platform.total_speed
+    out: dict[str, list[float]] = {name: [] for name in testers}
+    for _ in range(samples):
+        shape = generate_taskset(
+            rng,
+            n_tasks,
+            base_fraction * capacity,
+            u_max=base_fraction * platform.fastest_speed,
+        )
+        for name, tester in testers.items():
+            try:
+                factor = system_scaling_margin(
+                    shape,
+                    lambda ts, t=tester: t(ts, platform),
+                    tol=tol,
+                )
+            except ValueError:
+                # the tester rejects even the base shape: breakdown below base
+                out[name].append(0.0)
+                continue
+            out[name].append(factor * base_fraction)
+    return BreakdownStudy(
+        samples={k: tuple(v) for k, v in out.items()},
+        platform=platform,
+        n_tasks=n_tasks,
+    )

@@ -1,0 +1,159 @@
+"""Adversarial search for hard instances: empirical lower bounds.
+
+Random workloads need speedups barely above 1 (E4/E5) — the theorem
+bounds price *adversarial* structure.  This module searches for that
+structure: a restart hill-climb over certified partitioned-feasible
+instances (the genome keeps an explicit witness, so feasibility never
+needs re-checking) maximizing the minimum augmentation ``alpha*`` at
+which the §III first-fit test succeeds.
+
+The hardest instances found are empirical lower bounds on the
+approximation factor of the *algorithm* (not just the analysis): any
+instance with ``alpha* = x`` proves first-fit cannot be better than
+``x``-approximate against a partitioned adversary.  Experiment E14
+reports the gap between these lower bounds and the theorems' upper
+bounds (2 for EDF, 1+sqrt2 for RMS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..core.model import Platform, Task, TaskSet
+from ..workloads.uunifast import uunifast
+from .ratio import min_alpha_first_fit
+
+__all__ = ["HardInstance", "search_hard_instance"]
+
+_TESTS = {"edf": "edf", "rms": "rms-ll"}
+
+
+@dataclass(frozen=True)
+class HardInstance:
+    """The hardest instance a search found."""
+
+    taskset: TaskSet
+    platform: Platform
+    #: witness machine per task (certifies partitioned feasibility)
+    witness: tuple[int, ...]
+    #: measured minimum first-fit augmentation — an algorithmic lower bound
+    alpha: float
+    scheduler: str
+    #: alpha of the best instance after each restart (search trajectory)
+    restart_bests: tuple[float, ...]
+
+
+def _genome_to_instance(
+    genome: list[np.ndarray], platform: Platform
+) -> tuple[TaskSet, tuple[int, ...]]:
+    """A genome is one utilization vector per machine (sums <= s_j)."""
+    tasks: list[Task] = []
+    witness: list[int] = []
+    for j, utils in enumerate(genome):
+        for u in utils:
+            tasks.append(Task.from_utilization(float(u), 10.0))
+            witness.append(j)
+    return TaskSet(tasks), tuple(witness)
+
+
+def _score(
+    genome: list[np.ndarray],
+    platform: Platform,
+    test: str,
+    tol: float,
+) -> float:
+    taskset, _ = _genome_to_instance(genome, platform)
+    return min_alpha_first_fit(taskset, platform, test, tol=tol).alpha
+
+
+def _random_genome(
+    rng: np.random.Generator, platform: Platform, max_tasks: int, load: float
+) -> list[np.ndarray]:
+    return [
+        uunifast(rng, int(rng.integers(1, max_tasks + 1)), load * m.speed)
+        for m in platform
+    ]
+
+
+def _mutate(
+    rng: np.random.Generator,
+    genome: list[np.ndarray],
+    platform: Platform,
+    max_tasks: int,
+    load: float,
+) -> list[np.ndarray]:
+    out = [g.copy() for g in genome]
+    j = int(rng.integers(len(out)))
+    move = rng.random()
+    cap = load * platform[j].speed
+    if move < 0.35:
+        # redraw the machine's split with a fresh task count
+        out[j] = uunifast(rng, int(rng.integers(1, max_tasks + 1)), cap)
+    elif move < 0.7 and len(out[j]) >= 2:
+        # shift mass between two tasks on the machine (sum preserved)
+        a, b = rng.choice(len(out[j]), size=2, replace=False)
+        delta = float(rng.uniform(0, out[j][b]))
+        out[j][a] += delta
+        out[j][b] -= delta
+        out[j] = out[j][out[j] > 1e-6]
+    else:
+        # merge the machine into fewer, chunkier tasks
+        k = max(1, len(out[j]) // 2)
+        out[j] = uunifast(rng, k, cap)
+    if len(out[j]) == 0:
+        out[j] = np.array([cap])
+    return out
+
+
+def search_hard_instance(
+    rng: np.random.Generator,
+    platform: Platform,
+    scheduler: Literal["edf", "rms"] = "edf",
+    *,
+    iterations: int = 200,
+    restarts: int = 4,
+    max_tasks_per_machine: int = 5,
+    load: float = 1.0,
+    tol: float = 1e-3,
+) -> HardInstance:
+    """Hill-climb with restarts for a high-``alpha*`` feasible instance.
+
+    Parameters
+    ----------
+    load:
+        Witness fill per machine; 1.0 saturates the adversary (hardest).
+    iterations:
+        Mutation steps per restart.
+    """
+    if not 0 < load <= 1.0:
+        raise ValueError("load must be in (0, 1]")
+    if iterations < 1 or restarts < 1:
+        raise ValueError("iterations and restarts must be positive")
+    test = _TESTS[scheduler]
+    best_genome: list[np.ndarray] | None = None
+    best_alpha = -np.inf
+    restart_bests: list[float] = []
+    for _ in range(restarts):
+        genome = _random_genome(rng, platform, max_tasks_per_machine, load)
+        alpha = _score(genome, platform, test, tol)
+        for _ in range(iterations):
+            candidate = _mutate(rng, genome, platform, max_tasks_per_machine, load)
+            cand_alpha = _score(candidate, platform, test, tol)
+            if cand_alpha >= alpha:
+                genome, alpha = candidate, cand_alpha
+        restart_bests.append(alpha)
+        if alpha > best_alpha:
+            best_alpha, best_genome = alpha, genome
+    assert best_genome is not None
+    taskset, witness = _genome_to_instance(best_genome, platform)
+    return HardInstance(
+        taskset=taskset,
+        platform=platform,
+        witness=witness,
+        alpha=best_alpha,
+        scheduler=scheduler,
+        restart_bests=tuple(restart_bests),
+    )

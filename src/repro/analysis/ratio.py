@@ -1,0 +1,141 @@
+"""Minimum-speedup search: the empirical approximation factor.
+
+For one instance, the *empirical speedup factor* of the first-fit test is
+the smallest ``alpha`` at which the partitioner succeeds.  On instances
+certified feasible for an adversary class, the theorems bound this value
+(2 / 1+sqrt2 / 2.98 / 3.34); measuring its distribution is how the
+evaluation quantifies the analyses' tightness (experiments E4/E5).
+
+First-fit is not formally monotone in ``alpha`` (more capacity can
+reroute early tasks and strand a later one — a packing anomaly), so the
+binary search brackets with doubling, optionally scans a grid to detect
+anomalies, and reports what it saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.bounds import AdmissionTest
+from ..core.model import Platform, TaskSet
+from ..core.partition import first_fit_partition
+
+__all__ = ["MinAlphaResult", "alpha_success_profile", "min_alpha_first_fit"]
+
+
+@dataclass(frozen=True)
+class MinAlphaResult:
+    """Outcome of the minimum-alpha search for one instance."""
+
+    #: smallest augmentation (within ``tol``) at which first-fit succeeded
+    alpha: float
+    #: search resolution
+    tol: float
+    #: False if a grid scan found success followed by failure at a larger
+    #: alpha (packing anomaly); None when no scan was requested
+    monotone: bool | None
+    #: first-fit invocations spent
+    evaluations: int
+
+
+def _succeeds(
+    taskset: TaskSet, platform: Platform, test: AdmissionTest | str, alpha: float
+) -> bool:
+    return first_fit_partition(taskset, platform, test, alpha=alpha).success
+
+
+def alpha_success_profile(
+    taskset: TaskSet,
+    platform: Platform,
+    test: AdmissionTest | str,
+    alphas: np.ndarray,
+) -> np.ndarray:
+    """First-fit success at each augmentation in ``alphas`` (boolean array)."""
+    return np.array(
+        [_succeeds(taskset, platform, test, float(a)) for a in alphas], dtype=bool
+    )
+
+
+def min_alpha_first_fit(
+    taskset: TaskSet,
+    platform: Platform,
+    test: AdmissionTest | str = "edf",
+    *,
+    lo: float = 1.0,
+    hi: float | None = None,
+    tol: float = 1e-3,
+    max_doublings: int = 24,
+    anomaly_scan: int = 0,
+) -> MinAlphaResult:
+    """Smallest ``alpha`` at which first-fit partitions the instance.
+
+    Parameters
+    ----------
+    lo, hi:
+        Search bracket.  ``hi=None`` doubles from ``max(lo, 1)`` until
+        success (raising after ``max_doublings``).
+    anomaly_scan:
+        If positive, additionally evaluate this many evenly spaced alphas
+        across the bracket and report whether the success profile was
+        monotone (the binary-search answer refers to the *lowest* success
+        edge it can certify).
+
+    Raises
+    ------
+    RuntimeError
+        if no successful alpha is found while doubling (malformed
+        instance, e.g. a task bigger than every augmented machine cap).
+    """
+    if tol <= 0:
+        raise ValueError("tol must be positive")
+    evaluations = 0
+
+    def ok(alpha: float) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return _succeeds(taskset, platform, test, alpha)
+
+    if ok(lo):
+        return MinAlphaResult(alpha=lo, tol=tol, monotone=None, evaluations=evaluations)
+
+    if hi is None:
+        hi = max(lo, 1.0)
+        for _ in range(max_doublings):
+            hi *= 2.0
+            if ok(hi):
+                break
+        else:
+            raise RuntimeError(
+                f"first-fit never succeeded up to alpha={hi}; "
+                "instance cannot be partitioned at any tested augmentation"
+            )
+    elif not ok(hi):
+        raise RuntimeError(f"first-fit fails even at the bracket top alpha={hi}")
+
+    lo_f, hi_s = lo, hi  # failing and succeeding ends
+    while hi_s - lo_f > tol:
+        mid = 0.5 * (lo_f + hi_s)
+        if ok(mid):
+            hi_s = mid
+        else:
+            lo_f = mid
+
+    monotone: bool | None = None
+    if anomaly_scan > 0:
+        grid = np.linspace(lo, hi, anomaly_scan)
+        profile = alpha_success_profile(taskset, platform, test, grid)
+        evaluations += anomaly_scan
+        # monotone: no True followed by a later False
+        seen_true = False
+        monotone = True
+        for v in profile:
+            if seen_true and not v:
+                monotone = False
+                break
+            seen_true = seen_true or bool(v)
+
+    return MinAlphaResult(
+        alpha=hi_s, tol=tol, monotone=monotone, evaluations=evaluations
+    )

@@ -1,0 +1,76 @@
+"""Runtime scaling of the first-fit test (experiment E6).
+
+All four theorems state the test "runs in O(nm) time" (plus the
+``n log n`` sort).  This harness times the partitioner across an
+``n x m`` grid and reports seconds and the normalized ``seconds / (n*m)``
+column — flat normalized values confirm the bound empirically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.partition import first_fit_partition
+from ..workloads.builder import generate_taskset
+from ..workloads.platforms import geometric_platform
+
+__all__ = ["RuntimePoint", "runtime_scaling"]
+
+
+@dataclass(frozen=True)
+class RuntimePoint:
+    """Median runtime at one (n, m) grid point."""
+
+    n_tasks: int
+    m_machines: int
+    seconds: float
+    #: seconds / (n*m): should be ~constant if the O(nm) bound is real
+    seconds_per_nm: float
+
+
+def runtime_scaling(
+    rng: np.random.Generator,
+    *,
+    task_counts: Sequence[int] = (64, 128, 256, 512, 1024),
+    machine_counts: Sequence[int] = (2, 4, 8, 16),
+    test: str = "edf",
+    alpha: float = 2.0,
+    repeats: int = 5,
+    heterogeneity: float = 8.0,
+) -> list[RuntimePoint]:
+    """Median-of-``repeats`` wall time of the first-fit test per grid point.
+
+    Uses near-capacity instances (total utilization ~ platform speed) so
+    tasks probe many machines — the worst case for the inner loop.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    points: list[RuntimePoint] = []
+    for m in machine_counts:
+        platform = geometric_platform(m, heterogeneity)
+        for n in task_counts:
+            taskset = generate_taskset(
+                rng,
+                n,
+                0.95 * platform.total_speed,
+                u_max=platform.fastest_speed,
+            )
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                first_fit_partition(taskset, platform, test, alpha=alpha)
+                times.append(time.perf_counter() - start)
+            sec = float(np.median(times))
+            points.append(
+                RuntimePoint(
+                    n_tasks=n,
+                    m_machines=m,
+                    seconds=sec,
+                    seconds_per_nm=sec / (n * m),
+                )
+            )
+    return points

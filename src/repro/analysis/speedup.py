@@ -1,0 +1,119 @@
+"""Empirical speedup-factor studies (experiments E4/E5).
+
+Protocol: generate instances *certified feasible* for an adversary class
+(constructive witness for the partitioned adversary; LP verification for
+the any-schedule adversary), then measure the minimum speed augmentation
+at which the §III first-fit test accepts each.  The theorems bound these
+measurements: 2 (EDF/partitioned), 1+sqrt2 (RMS/partitioned), 2.98
+(EDF/any), 3.34 (RMS/any).  The gap between the measured distribution
+and the bound quantifies the analyses' pessimism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..core.constants import (
+    ALPHA_EDF_LP,
+    ALPHA_EDF_PARTITIONED,
+    ALPHA_RMS_LP,
+    ALPHA_RMS_PARTITIONED,
+)
+from ..core.model import Platform
+from ..workloads.builder import (
+    lp_feasible_instance,
+    partitioned_feasible_instance,
+)
+from .ratio import min_alpha_first_fit
+from .stats import Summary, summarize
+
+__all__ = ["SpeedupStudy", "empirical_speedup_study"]
+
+_BOUNDS = {
+    ("edf", "partitioned"): ALPHA_EDF_PARTITIONED,
+    ("rms", "partitioned"): ALPHA_RMS_PARTITIONED,
+    ("edf", "any"): ALPHA_EDF_LP,
+    ("rms", "any"): ALPHA_RMS_LP,
+}
+_TESTS = {"edf": "edf", "rms": "rms-ll"}
+
+
+@dataclass(frozen=True)
+class SpeedupStudy:
+    """Measured minimum-alpha sample against the theorem bound."""
+
+    scheduler: str
+    adversary: str
+    bound: float
+    alphas: tuple[float, ...]
+    summary: Summary
+
+    @property
+    def max_observed(self) -> float:
+        return self.summary.maximum
+
+    @property
+    def bound_respected(self) -> bool:
+        """Every measured alpha is at most the theorem bound (up to the
+        search tolerance)."""
+        return all(a <= self.bound + 2e-3 for a in self.alphas)
+
+    @property
+    def tightness(self) -> float:
+        """max observed / bound — 1.0 means the analysis is empirically tight."""
+        return self.max_observed / self.bound
+
+
+def empirical_speedup_study(
+    rng: np.random.Generator,
+    platform: Platform,
+    *,
+    scheduler: Literal["edf", "rms"] = "edf",
+    adversary: Literal["partitioned", "any"] = "partitioned",
+    samples: int = 50,
+    load: float = 0.98,
+    tasks_per_machine: int = 4,
+    n_tasks: int | None = None,
+    tol: float = 1e-3,
+) -> SpeedupStudy:
+    """Run one speedup-factor study.
+
+    Parameters
+    ----------
+    load:
+        Adversary stress: per-machine fill (partitioned) or LP stress
+        (any).  Values near 1 are the hard instances the bounds address.
+    n_tasks:
+        Task count for LP-feasible instances (defaults to
+        ``tasks_per_machine * m``).
+    """
+    key = (scheduler, adversary)
+    if key not in _BOUNDS:
+        raise ValueError(f"unknown combination {key}")
+    test = _TESTS[scheduler]
+    alphas: list[float] = []
+    for _ in range(samples):
+        if adversary == "partitioned":
+            inst = partitioned_feasible_instance(
+                rng, platform, load=load, tasks_per_machine=tasks_per_machine
+            )
+            taskset = inst.taskset
+        else:
+            taskset = lp_feasible_instance(
+                rng,
+                platform,
+                n_tasks or tasks_per_machine * len(platform),
+                stress=load,
+            )
+        result = min_alpha_first_fit(taskset, platform, test, tol=tol)
+        alphas.append(result.alpha)
+    return SpeedupStudy(
+        scheduler=scheduler,
+        adversary=adversary,
+        bound=_BOUNDS[key],
+        alphas=tuple(alphas),
+        summary=summarize(alphas),
+    )

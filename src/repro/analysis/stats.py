@@ -1,0 +1,83 @@
+"""Small statistics helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize", "bootstrap_ci", "empirical_cdf"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    p95: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.4f} std={self.std:.4f} "
+            f"min={self.minimum:.4f} med={self.median:.4f} "
+            f"p95={self.p95:.4f} max={self.maximum:.4f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics; raises on an empty sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+        p95=float(np.quantile(arr, 0.95)),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0 < level < 1:
+        raise ValueError("level must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    lo = float(np.quantile(means, (1 - level) / 2))
+    hi = float(np.quantile(means, 1 - (1 - level) / 2))
+    return lo, hi
+
+
+def empirical_cdf(
+    values: Sequence[float], points: Sequence[float] | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) of the empirical CDF, at the sample points by default."""
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+    if points is None:
+        xs = arr
+        ys = np.arange(1, arr.size + 1) / arr.size
+        return xs, ys
+    xs = np.asarray(list(points), dtype=float)
+    ys = np.searchsorted(arr, xs, side="right") / arr.size
+    return xs, ys

@@ -1,0 +1,24 @@
+"""Comparison algorithms: exact adversaries, prior work, heuristics, PTAS."""
+
+from .andersson_tovar import andersson_tovar_edf_test, andersson_tovar_rms_test
+from .exact import (
+    exact_partitioned_edf_feasible,
+    exact_partitioned_feasible,
+    exact_partitioned_rms_feasible,
+)
+from .heuristics import PAPER_STRATEGY, Strategy, all_strategies, run_strategy
+from .ptas import PTASResult, ptas_feasibility_test
+
+__all__ = [
+    "andersson_tovar_edf_test",
+    "andersson_tovar_rms_test",
+    "exact_partitioned_edf_feasible",
+    "exact_partitioned_feasible",
+    "exact_partitioned_rms_feasible",
+    "PAPER_STRATEGY",
+    "Strategy",
+    "all_strategies",
+    "run_strategy",
+    "PTASResult",
+    "ptas_feasibility_test",
+]

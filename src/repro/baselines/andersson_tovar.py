@@ -1,0 +1,48 @@
+"""Prior-work baselines: Andersson & Tovar's 3 / 3.41-approximate tests.
+
+References [2] and [3] of the paper proved that the *same* §III first-fit
+algorithm is a 3-approximate feasibility test with EDF per machine and a
+``2 + sqrt(2) ~= 3.41``-approximate test with RMS per machine — both
+against a possibly migrating (non-partitioned) adversary.  The paper under
+reproduction keeps the algorithm and sharpens the analysis (2 / 2.41 vs a
+partitioned adversary, 2.98 / 3.34 vs any adversary).
+
+These wrappers run the identical algorithm at the prior-work speed
+augmentations so experiment E11 can compare verdicts head-to-head: the
+new tests reject strictly more genuinely-infeasible instances at the same
+acceptance guarantee.
+"""
+
+from __future__ import annotations
+
+from ..core.constants import ALPHA_EDF_PRIOR, ALPHA_RMS_PRIOR
+from ..core.feasibility import FeasibilityReport, feasibility_test
+from ..core.model import Platform, TaskSet
+
+__all__ = [
+    "andersson_tovar_edf_test",
+    "andersson_tovar_rms_test",
+]
+
+
+def andersson_tovar_edf_test(
+    taskset: TaskSet, platform: Platform
+) -> FeasibilityReport:
+    """[2]: first-fit EDF at alpha = 3, versus any adversary.
+
+    Accepted: schedulable on 3x-faster machines.  Rejected: no scheduler
+    (even migratory) meets all deadlines at original speeds.
+    """
+    return feasibility_test(
+        taskset, platform, "edf", "any", alpha=ALPHA_EDF_PRIOR
+    )
+
+
+def andersson_tovar_rms_test(
+    taskset: TaskSet, platform: Platform
+) -> FeasibilityReport:
+    """[3]: first-fit RMS (Liu–Layland) at alpha = 2 + sqrt(2) ~= 3.414,
+    versus any adversary."""
+    return feasibility_test(
+        taskset, platform, "rms", "any", alpha=ALPHA_RMS_PRIOR
+    )

@@ -1,0 +1,192 @@
+"""Exact partitioned feasibility via branch-and-bound.
+
+The paper's partitioned adversary is existential: "some partition of the
+tasks onto the machines is feasible".  For EDF (exact per-machine test =
+capacity, Theorem II.2) this is the decision version of bin packing with
+variable bin sizes — strongly NP-hard (§I), so exact answers are limited
+to small instances; the ratio experiments use it as ground truth there
+and the constructive generator (:mod:`repro.workloads.builder`) elsewhere.
+
+Search order and pruning:
+
+* items (tasks) descending by utilization — large items fail fast;
+* machines descending by speed;
+* symmetry breaking: at each decision, identical (speed, load) machines
+  are tried only once; for the RTA variant only *empty* equal-speed
+  machines are deduplicated (loads do not determine RTA feasibility);
+* capacity pruning: total remaining work must fit total remaining space;
+* node budget: the search gives up (returns ``None``) after
+  ``node_limit`` nodes rather than stalling an experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+from ..core.bounds import rms_rta_feasible
+from ..core.model import EPS, Platform, TaskSet, leq
+
+__all__ = [
+    "exact_partitioned_edf_feasible",
+    "exact_partitioned_rms_feasible",
+    "exact_partitioned_feasible",
+]
+
+
+def exact_partitioned_edf_feasible(
+    taskset: TaskSet,
+    platform: Platform,
+    *,
+    node_limit: int = 2_000_000,
+) -> bool | None:
+    """Does *any* partition meet all per-machine EDF capacities at speed 1?
+
+    Returns True/False, or ``None`` if the node budget ran out undecided.
+    """
+    utils = sorted((t.utilization for t in taskset), reverse=True)
+    n = len(utils)
+    if n == 0:
+        return True
+    speeds = sorted((m.speed for m in platform), reverse=True)
+    m = len(speeds)
+    total = math.fsum(utils)
+    if total > math.fsum(speeds) * (1.0 + EPS):
+        return False
+    if utils[0] > speeds[0] * (1.0 + EPS):
+        return False
+
+    loads = [0.0] * m
+    # suffix_total[i] = sum of utils[i:]
+    suffix_total = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_total[i] = suffix_total[i + 1] + utils[i]
+
+    nodes = 0
+    exhausted = False
+
+    def dfs(i: int) -> bool:
+        nonlocal nodes, exhausted
+        if i == n:
+            return True
+        nodes += 1
+        if nodes > node_limit:
+            exhausted = True
+            return False
+        free = math.fsum(
+            max(0.0, speeds[j] - loads[j]) for j in range(m)
+        )
+        if suffix_total[i] > free * (1.0 + EPS):
+            return False
+        u = utils[i]
+        tried: set[tuple[float, float]] = set()
+        for j in range(m):
+            key = (speeds[j], loads[j])
+            if key in tried:
+                continue
+            tried.add(key)
+            if leq(loads[j] + u, speeds[j]):
+                loads[j] += u
+                if dfs(i + 1):
+                    return True
+                loads[j] -= u
+                if exhausted:
+                    return False
+        return False
+
+    found = dfs(0)
+    if found:
+        return True
+    return None if exhausted else False
+
+
+def exact_partitioned_rms_feasible(
+    taskset: TaskSet,
+    platform: Platform,
+    *,
+    node_limit: int = 200_000,
+) -> bool | None:
+    """Does *any* partition make every machine RMS-schedulable (exact RTA)
+    at speed 1?  True/False, or ``None`` on node-budget exhaustion.
+
+    This is the right adversary when the platform is contractually locked
+    to fixed-priority RM scheduling per machine.
+    """
+    order = sorted(range(len(taskset)), key=lambda i: -taskset[i].utilization)
+    n = len(order)
+    if n == 0:
+        return True
+    speeds = sorted((mach.speed for mach in platform), reverse=True)
+    m = len(speeds)
+    utils = [taskset[i].utilization for i in order]
+    total = math.fsum(utils)
+    if total > math.fsum(speeds) * (1.0 + EPS):
+        return False
+
+    assigned: list[list[int]] = [[] for _ in range(m)]
+    loads = [0.0] * m
+    suffix_total = [0.0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_total[i] = suffix_total[i + 1] + utils[i]
+
+    nodes = 0
+    exhausted = False
+
+    def dfs(i: int) -> bool:
+        nonlocal nodes, exhausted
+        if i == n:
+            return True
+        nodes += 1
+        if nodes > node_limit:
+            exhausted = True
+            return False
+        free = math.fsum(max(0.0, speeds[j] - loads[j]) for j in range(m))
+        if suffix_total[i] > free * (1.0 + EPS):
+            return False
+        ti = order[i]
+        task = taskset[ti]
+        seen_empty_speed: set[float] = set()
+        for j in range(m):
+            if not assigned[j]:
+                if speeds[j] in seen_empty_speed:
+                    continue
+                seen_empty_speed.add(speeds[j])
+            # quick necessary condition before the expensive RTA
+            if not leq(loads[j] + task.utilization, speeds[j]):
+                continue
+            candidate = [taskset[t] for t in assigned[j]] + [task]
+            if not rms_rta_feasible(candidate, speeds[j]):
+                continue
+            assigned[j].append(ti)
+            loads[j] += task.utilization
+            if dfs(i + 1):
+                return True
+            assigned[j].pop()
+            loads[j] -= task.utilization
+            if exhausted:
+                return False
+        return False
+
+    found = dfs(0)
+    if found:
+        return True
+    return None if exhausted else False
+
+
+def exact_partitioned_feasible(
+    taskset: TaskSet,
+    platform: Platform,
+    *,
+    admission: Literal["edf", "rms-rta"] = "edf",
+    node_limit: int | None = None,
+) -> bool | None:
+    """Dispatch on the per-machine exactness notion."""
+    if admission == "edf":
+        return exact_partitioned_edf_feasible(
+            taskset, platform, node_limit=node_limit or 2_000_000
+        )
+    if admission == "rms-rta":
+        return exact_partitioned_rms_feasible(
+            taskset, platform, node_limit=node_limit or 200_000
+        )
+    raise ValueError(f"unknown admission {admission!r}")

@@ -1,0 +1,79 @@
+"""The partitioning-heuristic family for the ordering/fit ablation (E8).
+
+The §III algorithm makes three design choices: process tasks by
+*decreasing* utilization, machines by *increasing* speed, and place
+first-fit.  Each choice is load-bearing in the analysis (the medium/fast
+load lower bounds of §IV.A hinge on large tasks arriving first and slow
+machines filling first).  This module enumerates the full strategy cube
+so E8 can measure what each choice buys empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..core.bounds import AdmissionTest
+from ..core.model import Platform, TaskSet
+from ..core.partition import (
+    FitRule,
+    MachineOrder,
+    PartitionResult,
+    TaskOrder,
+    partition,
+)
+
+__all__ = ["Strategy", "PAPER_STRATEGY", "all_strategies", "run_strategy"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A (task order, machine order, fit rule) combination."""
+
+    task_order: TaskOrder
+    machine_order: MachineOrder
+    fit: FitRule
+
+    @property
+    def label(self) -> str:
+        return f"{self.task_order}/{self.machine_order}/{self.fit}"
+
+
+#: The paper's choices (§III).
+PAPER_STRATEGY = Strategy(
+    task_order="util-desc", machine_order="speed-asc", fit="first"
+)
+
+_TASK_ORDERS: tuple[TaskOrder, ...] = ("util-desc", "util-asc", "input")
+_MACHINE_ORDERS: tuple[MachineOrder, ...] = ("speed-asc", "speed-desc")
+_FITS: tuple[FitRule, ...] = ("first", "best", "worst")
+
+
+def all_strategies() -> list[Strategy]:
+    """The full 3 x 2 x 3 strategy cube, paper's strategy first."""
+    cube = [
+        Strategy(t, m, f)
+        for t, m, f in product(_TASK_ORDERS, _MACHINE_ORDERS, _FITS)
+    ]
+    cube.remove(PAPER_STRATEGY)
+    return [PAPER_STRATEGY, *cube]
+
+
+def run_strategy(
+    strategy: Strategy,
+    taskset: TaskSet,
+    platform: Platform,
+    test: AdmissionTest | str = "edf",
+    *,
+    alpha: float = 1.0,
+) -> PartitionResult:
+    """Run one strategy (thin wrapper over :func:`repro.core.partition.partition`)."""
+    return partition(
+        taskset,
+        platform,
+        test,
+        alpha=alpha,
+        task_order=strategy.task_order,
+        machine_order=strategy.machine_order,
+        fit=strategy.fit,
+    )

@@ -1,0 +1,302 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``test``        run one of the four theorem feasibility tests on a JSON instance
+``generate``    draw a synthetic instance and write it as JSON
+``simulate``    partition an instance and simulate it, reporting misses
+``experiment``  run an E1–E17 evaluation experiment and print its tables
+``constants``   verify / re-optimize the proof constants
+``list``        list available experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .core import constants as C
+from .core.feasibility import feasibility_test
+from .core.partition import first_fit_partition
+from .experiments import all_experiments, get_experiment
+from .io_.serialize import (
+    load_json,
+    platform_from_dict,
+    platform_to_dict,
+    save_json,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from .io_.tables import write_csv
+from .sim.multiprocessor import simulate_partitioned
+from .workloads.builder import generate_taskset
+from .workloads.platforms import geometric_platform
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Partitioned feasibility tests for sporadic tasks on "
+            "heterogeneous machines (Ahuja, Lu, Moseley — IPPS 2016)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("test", help="run a theorem feasibility test on a JSON instance")
+    p.add_argument("instance", type=Path, help="JSON with 'taskset' and 'platform'")
+    p.add_argument("--scheduler", choices=["edf", "rms"], default="edf")
+    p.add_argument("--adversary", choices=["partitioned", "any"], default="partitioned")
+    p.add_argument("--alpha", type=float, default=None, help="override speed augmentation")
+
+    p = sub.add_parser("generate", help="draw a synthetic instance as JSON")
+    p.add_argument("output", type=Path)
+    p.add_argument("--tasks", type=int, default=16)
+    p.add_argument("--machines", type=int, default=4)
+    p.add_argument("--ratio", type=float, default=8.0, help="platform s_max/s_min")
+    p.add_argument(
+        "--stress", type=float, default=0.9, help="total utilization / total speed"
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="partition and simulate an instance")
+    p.add_argument("instance", type=Path)
+    p.add_argument("--policy", choices=["edf", "rms"], default="edf")
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.add_argument(
+        "--release", choices=["periodic", "sporadic"], default="periodic"
+    )
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("experiment", help="run an evaluation experiment (E1-E17)")
+    p.add_argument("id", help="experiment id, e.g. e01")
+    p.add_argument("--scale", choices=["quick", "full"], default="full")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--csv", type=Path, default=None, help="also write rows as CSV")
+
+    p = sub.add_parser("constants", help="verify / re-optimize the proof constants")
+    p.add_argument("--optimize", action="store_true")
+
+    p = sub.add_parser(
+        "gantt", help="partition, simulate, and draw an ASCII Gantt chart"
+    )
+    p.add_argument("instance", type=Path)
+    p.add_argument("--policy", choices=["edf", "rms"], default="edf")
+    p.add_argument("--alpha", type=float, default=1.0)
+    p.add_argument("--machine", type=int, default=None, help="only this machine")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--horizon", type=float, default=None)
+
+    p = sub.add_parser(
+        "slack", help="sensitivity: scaling margin and per-task slacks"
+    )
+    p.add_argument("instance", type=Path)
+    p.add_argument("--test", default="edf", help="admission test name")
+    p.add_argument("--alpha", type=float, default=1.0)
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _load_instance(path: Path):
+    data = load_json(path)
+    return taskset_from_dict(data["taskset"]), platform_from_dict(data["platform"])
+
+
+def _cmd_test(args: argparse.Namespace) -> int:
+    taskset, platform = _load_instance(args.instance)
+    report = feasibility_test(
+        taskset, platform, args.scheduler, args.adversary, alpha=args.alpha
+    )
+    print(f"verdict: {'ACCEPTED' if report.accepted else 'REJECTED'}")
+    print(f"alpha: {report.alpha:g}  (theorem {report.theorem})")
+    print(report.guarantee)
+    if report.accepted:
+        for j, idxs in enumerate(report.partition.machine_tasks):
+            print(
+                f"  machine {j} (speed {platform[j].speed:g}): tasks {list(idxs)} "
+                f"load {report.partition.loads[j]:.4f}"
+            )
+    else:
+        cert = report.certificate
+        assert cert is not None
+        print(
+            f"  failing utilization w_n={cert.w_n:.4f}; prefix utilization "
+            f"{cert.prefix_utilization:.4f} vs eligible capacity "
+            f"{cert.eligible_capacity:.4f}"
+            + ("  [certified]" if cert.certifies else "")
+        )
+    return 0 if report.accepted else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    platform = geometric_platform(args.machines, args.ratio)
+    taskset = generate_taskset(
+        rng,
+        args.tasks,
+        args.stress * platform.total_speed,
+        u_max=platform.fastest_speed,
+    )
+    save_json(
+        args.output,
+        {"taskset": taskset_to_dict(taskset), "platform": platform_to_dict(platform)},
+    )
+    print(
+        f"wrote {args.output}: n={args.tasks} tasks "
+        f"(U={taskset.total_utilization:.3f}), m={args.machines} machines "
+        f"(S={platform.total_speed:.3f})"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    taskset, platform = _load_instance(args.instance)
+    test = "edf" if args.policy == "edf" else "rms-ll"
+    result = first_fit_partition(taskset, platform, test, alpha=args.alpha)
+    if not result.success:
+        print(
+            f"first-fit failed at alpha={args.alpha:g} "
+            f"(task {result.failed_task}); nothing to simulate"
+        )
+        return 1
+    rng = np.random.default_rng(args.seed)
+    sim = simulate_partitioned(
+        taskset,
+        platform,
+        result,
+        args.policy,
+        alpha=args.alpha,
+        release=args.release,
+        rng=rng,
+    )
+    print(
+        f"simulated {sim.total_jobs} jobs across {len(platform)} machines "
+        f"at alpha={args.alpha:g} ({args.release} release)"
+    )
+    print(f"deadline misses: {sim.total_misses}")
+    return 0 if not sim.any_miss else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = {"scale": args.scale}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    result = get_experiment(args.id)(**kwargs)
+    print(result.render())
+    if args.csv is not None:
+        write_csv(args.csv, result.rows)
+        print(f"\nrows written to {args.csv}")
+    return 0
+
+
+def _cmd_constants(args: argparse.Namespace) -> int:
+    for label, pc, sched in (
+        ("EDF (Theorem I.3)", C.EDF_LP_CONSTANTS, "edf"),
+        ("RMS (Theorem I.4)", C.RMS_LP_CONSTANTS, "rms"),
+    ):
+        conds = C.conditions(pc, sched)  # type: ignore[arg-type]
+        ok = C.constants_valid(pc, sched)  # type: ignore[arg-type]
+        print(f"{label}: alpha={pc.alpha}  " + "  ".join(
+            f"{k}={v:.6f}" for k, v in conds.items()
+        ) + f"  valid={ok}")
+    if args.optimize:
+        for sched in ("edf", "rms"):
+            alpha, pc = C.minimal_alpha(sched)  # type: ignore[arg-type]
+            print(
+                f"re-optimized {sched}: alpha={alpha:.4f} "
+                f"(c_s={pc.c_s:.3f}, c_f={pc.c_f:.3f}, "
+                f"f_w={pc.f_w:.3f}, f_f={pc.f_f:.4f})"
+            )
+    return 0
+
+
+def _cmd_gantt(args: argparse.Namespace) -> int:
+    from .sim.gantt import render_gantt
+
+    taskset, platform = _load_instance(args.instance)
+    test = "edf" if args.policy == "edf" else "rms-ll"
+    result = first_fit_partition(taskset, platform, test, alpha=args.alpha)
+    if not result.success:
+        print(f"first-fit failed at alpha={args.alpha:g}; nothing to draw")
+        return 1
+    sim = simulate_partitioned(
+        taskset,
+        platform,
+        result,
+        args.policy,
+        alpha=args.alpha,
+        horizon=args.horizon,
+    )
+    machines = (
+        [args.machine] if args.machine is not None else range(len(platform))
+    )
+    for j in machines:
+        trace = sim.traces[j]
+        print(f"machine {j} (speed {platform[j].speed:g} x {args.alpha:g}):")
+        if trace.jobs:
+            print(render_gantt(trace, taskset.tasks, width=args.width))
+        else:
+            print("  (idle)")
+        print()
+    return 0
+
+
+def _cmd_slack(args: argparse.Namespace) -> int:
+    from .analysis.sensitivity import (
+        critical_tasks,
+        ff_acceptance,
+        system_scaling_margin,
+    )
+
+    taskset, platform = _load_instance(args.instance)
+    accept = ff_acceptance(platform, args.test, args.alpha)
+    if not accept(taskset):
+        print(
+            f"instance rejected by {args.test} at alpha={args.alpha:g}; "
+            "no margin to report"
+        )
+        return 1
+    margin = system_scaling_margin(taskset, accept)
+    print(
+        f"system scaling margin: {margin:.4f} "
+        f"(every WCET can grow {100 * (margin - 1):.1f}%)"
+    )
+    print("per-task slack (most critical first):")
+    for entry in critical_tasks(taskset, accept):
+        print(f"  {entry.name:>12s}  x{entry.slack:.3f}")
+    return 0
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for eid, title in all_experiments().items():
+        print(f"{eid}  {title}")
+    return 0
+
+
+_HANDLERS = {
+    "test": _cmd_test,
+    "generate": _cmd_generate,
+    "simulate": _cmd_simulate,
+    "experiment": _cmd_experiment,
+    "constants": _cmd_constants,
+    "gantt": _cmd_gantt,
+    "slack": _cmd_slack,
+    "list": _cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,252 @@
+"""Executable proof machinery: machine classes, load bounds, certificates.
+
+The §IV/§V analyses reason about a *failed* first-fit run.  This module
+turns each ingredient of those proofs into a checkable predicate on a
+concrete :class:`~repro.core.partition.PartitionResult`:
+
+* the slow/medium/fast machine classification around the failing task's
+  utilization ``w_n`` (``alpha s_s = w_n``, ``alpha s_f = w_n c_s``),
+* the per-machine load lower bounds (EDF: medium machines carry at least
+  ``alpha s/2``, fast machines at least ``(1-1/c_s) alpha s``; RMS:
+  Lemmas V.2/V.3),
+* Corollary IV.3 and its RMS analogue, and
+* the partitioned-infeasibility *certificate* behind Theorems I.1/I.2:
+  when first-fit fails at the theorem's alpha, the failing prefix of
+  tasks (all with utilization >= ``w_n``) outweighs the total speed of
+  every machine that could legally host any of them, so **no** partitioned
+  schedule exists.  The certificate carries the numbers and can be
+  re-verified independently of the theorem.
+
+The test suite uses these predicates as property-based oracles: every
+randomly generated failing run must satisfy every lemma's bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .constants import LN2, SQRT2
+from .model import EPS, Platform, TaskSet, geq
+from .partition import PartitionResult
+
+__all__ = [
+    "MachineClasses",
+    "classify_machines",
+    "FailureCertificate",
+    "partitioned_infeasibility_certificate",
+    "edf_load_bounds_hold",
+    "rms_load_bounds_hold",
+    "corollary_iv3_holds",
+    "corollary_v3_holds",
+]
+
+
+@dataclass(frozen=True)
+class MachineClasses:
+    """§IV machine grouping for a failing utilization ``w_n``.
+
+    slow:   ``alpha * s < w_n``          (cannot host the failing task even empty)
+    fast:   ``alpha * s >= w_n * c_s``
+    medium: in between.
+
+    Indices refer to the platform's canonical speed-ascending order, so
+    each group is a contiguous range.
+    """
+
+    slow: tuple[int, ...]
+    medium: tuple[int, ...]
+    fast: tuple[int, ...]
+    s_s: float  # slow/medium threshold speed  (= w_n / alpha)
+    s_f: float  # medium/fast threshold speed  (= w_n c_s / alpha)
+
+    def group_of(self, machine_index: int) -> str:
+        if machine_index in self.slow:
+            return "slow"
+        if machine_index in self.medium:
+            return "medium"
+        return "fast"
+
+
+def classify_machines(
+    platform: Platform, w_n: float, alpha: float, c_s: float
+) -> MachineClasses:
+    """Split machines into the paper's slow/medium/fast groups."""
+    if w_n <= 0:
+        raise ValueError("w_n must be positive")
+    if alpha <= 0 or c_s <= 1.0:
+        raise ValueError("need alpha > 0 and c_s > 1")
+    s_s = w_n / alpha
+    s_f = w_n * c_s / alpha
+    slow: list[int] = []
+    medium: list[int] = []
+    fast: list[int] = []
+    for j, m in enumerate(platform):
+        if m.speed < s_s * (1.0 - EPS):
+            slow.append(j)
+        elif m.speed >= s_f * (1.0 - EPS):
+            fast.append(j)
+        else:
+            medium.append(j)
+    return MachineClasses(
+        slow=tuple(slow), medium=tuple(medium), fast=tuple(fast), s_s=s_s, s_f=s_f
+    )
+
+
+@dataclass(frozen=True)
+class FailureCertificate:
+    """Evidence that *no partitioned schedule* exists (Theorems I.1/I.2).
+
+    Construction: first-fit (with the theorem's alpha) failed at a task of
+    utilization ``w_n``.  Every task in the failing prefix has utilization
+    at least ``w_n``, so under *any* partitioned schedule each of them must
+    live on a machine of speed at least ``w_n`` — and per-machine EDF is
+    exact, so the prefix's total utilization may not exceed the total
+    speed of those machines.  The theorems guarantee it does.
+    """
+
+    #: utilization of the task first-fit failed on
+    w_n: float
+    #: total utilization of the failing prefix (assigned tasks + failing task)
+    prefix_utilization: float
+    #: machines (canonical indices) of speed >= w_n — the only legal hosts
+    eligible_machines: tuple[int, ...]
+    #: their total (non-augmented) speed
+    eligible_capacity: float
+    #: speed augmentation first-fit ran with
+    alpha: float
+    #: admission test used ("edf" / "rms-ll")
+    test_name: str
+
+    @property
+    def certifies(self) -> bool:
+        """True iff the arithmetic actually proves partitioned infeasibility."""
+        return self.prefix_utilization > self.eligible_capacity * (1.0 + EPS)
+
+
+def partitioned_infeasibility_certificate(
+    taskset: TaskSet, platform: Platform, result: PartitionResult
+) -> FailureCertificate:
+    """Build the Theorem I.1/I.2 certificate from a failed first-fit run.
+
+    The returned certificate's :attr:`~FailureCertificate.certifies` is
+    guaranteed True by Theorem I.1 when ``result`` used EDF admission with
+    ``alpha >= 2``, and by Theorem I.2 when it used RMS Liu–Layland
+    admission with ``alpha >= 1 + sqrt(2)`` — for smaller alphas it may or
+    may not certify.
+
+    Raises
+    ------
+    ValueError
+        if ``result`` did not fail.
+    """
+    if result.success or result.failed_task is None:
+        raise ValueError("certificate requires a failed partition result")
+    w_n = taskset[result.failed_task].utilization
+    # the failing prefix: everything placed before the failure, plus tau_n
+    prefix = [i for i in result.order if result.assignment[i] is not None]
+    prefix.append(result.failed_task)
+    prefix_util = math.fsum(taskset[i].utilization for i in prefix)
+    eligible = tuple(
+        j for j, m in enumerate(platform) if geq(m.speed, w_n)
+    )
+    capacity = math.fsum(platform[j].speed for j in eligible)
+    return FailureCertificate(
+        w_n=w_n,
+        prefix_utilization=prefix_util,
+        eligible_machines=eligible,
+        eligible_capacity=capacity,
+        alpha=result.alpha,
+        test_name=result.test_name,
+    )
+
+
+def edf_load_bounds_hold(
+    taskset: TaskSet,
+    platform: Platform,
+    result: PartitionResult,
+    c_s: float,
+) -> bool:
+    """§IV.A load lower bounds on a failed EDF first-fit run.
+
+    Medium machines (``w_n <= alpha s < w_n c_s``) must carry at least
+    ``alpha s / 2``; fast machines (``alpha s >= w_n c_s``) at least
+    ``(1 - 1/c_s) alpha s``.
+    """
+    if result.success or result.failed_task is None:
+        raise ValueError("requires a failed partition result")
+    w_n = taskset[result.failed_task].utilization
+    classes = classify_machines(platform, w_n, result.alpha, c_s)
+    for j in classes.medium:
+        if not geq(result.loads[j], result.alpha * platform[j].speed / 2.0):
+            return False
+    for j in classes.fast:
+        bound = (1.0 - 1.0 / c_s) * result.alpha * platform[j].speed
+        if not geq(result.loads[j], bound):
+            return False
+    return True
+
+
+def rms_load_bounds_hold(
+    taskset: TaskSet,
+    platform: Platform,
+    result: PartitionResult,
+    c_s: float,
+) -> bool:
+    """§V.A load lower bounds on a failed RMS (Liu–Layland) first-fit run.
+
+    Lemma V.3: every machine with ``alpha s >= w_n`` carries at least
+    ``(sqrt 2 - 1) alpha s``.  Lemma V.2: every fast machine carries more
+    than ``(ln 2 - 1/c_s) alpha s_f``.
+    """
+    if result.success or result.failed_task is None:
+        raise ValueError("requires a failed partition result")
+    w_n = taskset[result.failed_task].utilization
+    classes = classify_machines(platform, w_n, result.alpha, c_s)
+    for j in classes.medium + classes.fast:
+        if not geq(result.loads[j], (SQRT2 - 1.0) * result.alpha * platform[j].speed):
+            return False
+    fast_floor = (LN2 - 1.0 / c_s) * result.alpha * classes.s_f
+    for j in classes.fast:
+        if not geq(result.loads[j], fast_floor):
+            return False
+    return True
+
+
+def _non_slow_speed(
+    taskset: TaskSet, platform: Platform, result: PartitionResult
+) -> tuple[float, float]:
+    """(total utilization of tasks placed before the failure,
+    total speed of machines with ``alpha s >= w_n``)."""
+    w_n = taskset[result.failed_task].utilization  # type: ignore[index]
+    placed_util = math.fsum(
+        taskset[i].utilization
+        for i in result.order
+        if result.assignment[i] is not None
+    )
+    non_slow = math.fsum(
+        m.speed for m in platform if geq(result.alpha * m.speed, w_n)
+    )
+    return placed_util, non_slow
+
+
+def corollary_iv3_holds(
+    taskset: TaskSet, platform: Platform, result: PartitionResult
+) -> bool:
+    """Corollary IV.3 on a failed EDF run:
+    ``(alpha/2) * sum_{non-slow} s <= sum_{placed} w``."""
+    if result.success:
+        raise ValueError("requires a failed partition result")
+    placed_util, non_slow = _non_slow_speed(taskset, platform, result)
+    return geq(placed_util, result.alpha / 2.0 * non_slow)
+
+
+def corollary_v3_holds(
+    taskset: TaskSet, platform: Platform, result: PartitionResult
+) -> bool:
+    """RMS analogue (from Lemma V.3):
+    ``(sqrt 2 - 1) alpha * sum_{non-slow} s <= sum_{placed} w``."""
+    if result.success:
+        raise ValueError("requires a failed partition result")
+    placed_util, non_slow = _non_slow_speed(taskset, platform, result)
+    return geq(placed_util, (SQRT2 - 1.0) * result.alpha * non_slow)

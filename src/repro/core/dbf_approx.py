@@ -1,0 +1,138 @@
+"""Approximate demand bound functions — the polynomial-time EDF test.
+
+Exact constrained-deadline EDF tests (:mod:`repro.core.dbf`) are
+pseudo-polynomial.  The classic fix (Albers & Slomka; the approach behind
+the paper's reference [7], Chen & Chakraborty's resource-augmentation
+bounds for approximate demand bound functions) keeps each task's dbf
+exact for its first ``k`` steps and continues with the utilization-slope
+linear upper bound::
+
+    dbf*_k(t) = dbf(t)                        for t <  d + (k-1) p
+    dbf*_k(t) = k c + (t - d - (k-1) p) * u   for t >= d + (k-1) p
+
+Properties (all property-tested):
+
+* ``dbf <= dbf*_k`` pointwise, with equality at step points — so
+  acceptance (``sum_i dbf*_k <= speed * t`` everywhere) implies exact
+  feasibility (**sound**);
+* ``dbf*_k`` has at most ``k`` breakpoints per task, and the slack
+  function ``speed*t - sum dbf*`` is piecewise linear, so checking the
+  O(nk) breakpoints decides the test in polynomial time;
+* rejection over-refuses by at most a ``(1 + 1/k)`` speed factor
+  ([7]'s augmentation bound): if the test rejects at speed ``s``, the
+  set is genuinely infeasible at speed ``s / (1 + 1/k)``;
+* ``k -> inf`` converges to the exact test.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .bounds import ADMISSION_TESTS, AdmissionTest, MachineState
+from .dbf import dbf
+from .model import EPS, Task, leq
+
+__all__ = [
+    "approx_dbf",
+    "edf_approx_demand_feasible",
+    "EDFApproxDemandTest",
+]
+
+
+def approx_dbf(task: Task, t: float, k: int) -> float:
+    """The k-step approximate demand bound ``dbf*_k`` of one task."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if t < task.deadline - EPS:
+        return 0.0
+    linear_from = task.deadline + (k - 1) * task.period
+    if t < linear_from - EPS:
+        return dbf(task, t)
+    return k * task.wcet + (t - linear_from) * task.utilization
+
+
+def _breakpoints(tasks: Sequence[Task], k: int) -> list[float]:
+    """All points where some task's ``dbf*_k`` changes slope or jumps."""
+    points: set[float] = set()
+    for task in tasks:
+        for j in range(k):
+            points.add(task.deadline + j * task.period)
+    return sorted(points)
+
+
+def edf_approx_demand_feasible(
+    tasks: Sequence[Task], speed: float = 1.0, *, k: int = 4
+) -> bool:
+    """Polynomial-time sufficient EDF test via k-step approximate dbfs.
+
+    Accepts only genuinely feasible sets; may reject feasible ones, by at
+    most a ``(1+1/k)`` speed factor.  ``k=1`` degenerates to the density
+    test; large ``k`` approaches the exact processor-demand criterion.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if not tasks:
+        return True
+    total_u = math.fsum(t.utilization for t in tasks)
+    if total_u > speed * (1.0 + EPS):
+        return False
+    # The slack speed*t - sum dbf* is piecewise linear between
+    # breakpoints, with non-negative slope beyond the last one (U <= s),
+    # so violations are witnessed at breakpoints — including the jump
+    # discontinuities of the exact region, which occur *at* step points.
+    for t in _breakpoints(tasks, k):
+        demand = math.fsum(approx_dbf(task, t, k) for task in tasks)
+        if not leq(demand, speed * t):
+            return False
+    return True
+
+
+class _ApproxState(MachineState):
+    __slots__ = ("_tasks", "_load", "_k")
+
+    def __init__(self, speed: float, k: int):
+        super().__init__(speed)
+        self._tasks: list[Task] = []
+        self._load = 0.0
+        self._k = k
+
+    def admits(self, task: Task) -> bool:
+        return edf_approx_demand_feasible(
+            self._tasks + [task], self.speed, k=self._k
+        )
+
+    def add(self, task: Task) -> None:
+        self._tasks.append(task)
+        self._load += task.utilization
+
+    @property
+    def load(self) -> float:
+        return self._load
+
+    @property
+    def count(self) -> int:
+        return len(self._tasks)
+
+
+class EDFApproxDemandTest(AdmissionTest):
+    """Partitioner admission using the k-step approximate dbf test.
+
+    Registered as ``edf-dbf-approx`` with the default ``k=4``;
+    instantiate directly for other k.
+    """
+
+    def __init__(self, k: int = 4):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.name = f"edf-dbf-approx(k={k})" if k != 4 else "edf-dbf-approx"
+
+    def open(self, speed: float) -> MachineState:
+        return _ApproxState(speed, self.k)
+
+    def feasible(self, tasks: Sequence[Task], speed: float) -> bool:
+        return edf_approx_demand_feasible(tasks, speed, k=self.k)
+
+
+ADMISSION_TESTS.setdefault("edf-dbf-approx", EDFApproxDemandTest())

@@ -1,0 +1,109 @@
+"""Experiment framework: results, scales, and the registry.
+
+Each evaluation artifact (DESIGN.md §3, E1–E17) is one module exposing
+``run(seed, scale) -> ExperimentResult``.  ``scale='quick'`` keeps bench
+and CI runs in seconds; ``scale='full'`` produces the EXPERIMENTS.md
+numbers.  Both scales use deterministic seeds, so every number in the
+docs is reproducible with one CLI call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Literal, Mapping
+
+from ..io_.tables import format_table
+
+__all__ = [
+    "Scale",
+    "ExperimentResult",
+    "result_from_dict",
+    "register",
+    "get_experiment",
+    "all_experiments",
+]
+
+Scale = Literal["quick", "full"]
+
+DEFAULT_SEED = 20160523  # IPPS 2016 conference dates
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One experiment's output: identification, table rows, commentary."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, Any]]
+    notes: str = ""
+    #: optional named secondary tables (e.g. a CDF alongside a summary)
+    extra_tables: Mapping[str, list[dict[str, Any]]] = field(default_factory=dict)
+
+    def render(self, *, precision: int = 4) -> str:
+        parts = [
+            format_table(
+                self.rows,
+                title=f"[{self.experiment_id}] {self.title}",
+                precision=precision,
+            )
+        ]
+        for name, rows in self.extra_tables.items():
+            parts.append("")
+            parts.append(format_table(rows, title=name, precision=precision))
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready archive form (see :func:`result_from_dict`)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": self.rows,
+            "notes": self.notes,
+            "extra_tables": dict(self.extra_tables),
+        }
+
+
+def result_from_dict(data: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild an archived :class:`ExperimentResult`."""
+    return ExperimentResult(
+        experiment_id=str(data["experiment_id"]),
+        title=str(data["title"]),
+        rows=list(data["rows"]),
+        notes=str(data.get("notes", "")),
+        extra_tables=dict(data.get("extra_tables", {})),
+    )
+
+
+Runner = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, Runner]] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator: add a ``run(seed, scale)`` function to the registry."""
+
+    def wrap(fn: Runner) -> Runner:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id}")
+        _REGISTRY[experiment_id] = (title, fn)
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Runner for one experiment id (e.g. ``'e01'``)."""
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> dict[str, str]:
+    """Mapping experiment id -> title."""
+    return {eid: title for eid, (title, _) in sorted(_REGISTRY.items())}

@@ -1,0 +1,89 @@
+"""E11 / Table 5 — agreement with prior work and the PTAS reference.
+
+Head-to-head verdict comparison on small instances where the exact
+partitioned adversary provides ground truth:
+
+* our Theorem I.1 test (FF-EDF at alpha=2) vs Andersson-Tovar [2]
+  (FF-EDF at alpha=3): identical algorithm, tighter augmentation — the
+  new test's rejections are a superset, with zero false rejections of
+  partitioned-feasible instances;
+* the simplified Hochbaum-Shmoys-style (1+eps) dual-approximation [11]:
+  near-exact verdicts at eps=0.25, at orders-of-magnitude higher cost
+  (node counts reported), reproducing the paper's practicality argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.andersson_tovar import andersson_tovar_edf_test
+from ..baselines.exact import exact_partitioned_edf_feasible
+from ..baselines.ptas import ptas_feasibility_test
+from ..core.feasibility import edf_test_vs_partitioned
+from ..core.lp import lp_feasible
+from ..workloads.builder import generate_taskset
+from ..workloads.platforms import geometric_platform
+from .base import DEFAULT_SEED, ExperimentResult, Scale, register
+
+
+@register("e11", "Baseline agreement: ours vs Andersson-Tovar vs PTAS (Table 5)")
+def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    platform = geometric_platform(3, 4.0)
+    samples = 60 if scale == "quick" else 500
+    stats = {
+        "ours(a=2)": {"accept": 0, "false_reject": 0},
+        "AT[2](a=3)": {"accept": 0, "false_reject": 0},
+        "PTAS(eps=.25)": {"accept": 0, "false_reject": 0},
+        "LP(any)": {"accept": 0, "false_reject": 0},
+        "exact": {"accept": 0, "false_reject": 0},
+    }
+    ptas_nodes = []
+    decided = 0
+    for _ in range(samples):
+        stress = rng.uniform(0.8, 1.15)
+        taskset = generate_taskset(
+            rng, 10, stress * platform.total_speed, u_max=platform.fastest_speed
+        )
+        truth = exact_partitioned_edf_feasible(taskset, platform)
+        if truth is None:
+            continue
+        decided += 1
+        ptas = ptas_feasibility_test(taskset, platform, eps=0.25)
+        ptas_nodes.append(ptas.nodes)
+        verdicts = {
+            "ours(a=2)": edf_test_vs_partitioned(taskset, platform).accepted,
+            "AT[2](a=3)": andersson_tovar_edf_test(taskset, platform).accepted,
+            "PTAS(eps=.25)": ptas.feasible,
+            "LP(any)": lp_feasible(taskset, platform),
+            "exact": bool(truth),
+        }
+        for name, accepted in verdicts.items():
+            if accepted:
+                stats[name]["accept"] += 1
+            elif truth:
+                # rejected an instance some partition could schedule
+                stats[name]["false_reject"] += 1
+
+    rows = []
+    for name, s in stats.items():
+        rows.append(
+            {
+                "test": name,
+                "acceptance": s["accept"] / decided if decided else float("nan"),
+                "false rejections": s["false_reject"],
+            }
+        )
+    return ExperimentResult(
+        experiment_id="e11",
+        title="Baseline agreement: ours vs Andersson-Tovar vs PTAS (Table 5)",
+        rows=rows,
+        notes=(
+            f"{decided} exactly-decided instances (n=10, m=3, U/S in "
+            "[0.8, 1.15]). Soundness requires zero false rejections for "
+            "ours/AT/PTAS (their rejections are infeasibility proofs). "
+            f"PTAS mean search nodes: "
+            f"{np.mean(ptas_nodes):.0f} (max {np.max(ptas_nodes)}) vs the "
+            "first-fit tests' ~n*m = 30 probes — the [11] practicality gap."
+        ),
+    )

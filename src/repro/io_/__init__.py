@@ -1,0 +1,29 @@
+"""Serialization and table rendering."""
+
+from .serialize import (
+    load_json,
+    partition_result_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+    save_json,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from .tables import format_table, rows_to_csv, write_csv
+
+__all__ = [
+    "load_json",
+    "partition_result_to_dict",
+    "platform_from_dict",
+    "platform_to_dict",
+    "save_json",
+    "task_from_dict",
+    "task_to_dict",
+    "taskset_from_dict",
+    "taskset_to_dict",
+    "format_table",
+    "rows_to_csv",
+    "write_csv",
+]

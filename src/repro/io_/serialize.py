@@ -1,0 +1,100 @@
+"""JSON (de)serialization for tasksets, platforms, and results.
+
+Round-trippable plain-dict encodings so experiments can be archived and
+instances shared/reproduced.  Floats are stored exactly (repr round-trip)
+— a reloaded instance produces bit-identical test verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.model import Machine, Platform, Task, TaskSet
+from ..core.partition import PartitionResult
+
+__all__ = [
+    "task_to_dict",
+    "task_from_dict",
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "platform_to_dict",
+    "platform_from_dict",
+    "partition_result_to_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def task_to_dict(task: Task) -> dict[str, Any]:
+    """Plain-dict form of a task (deadline only when constrained)."""
+    out: dict[str, Any] = {
+        "wcet": task.wcet,
+        "period": task.period,
+        "name": task.name,
+    }
+    if not task.is_implicit:
+        out["deadline"] = task.deadline
+    return out
+
+
+def task_from_dict(data: dict[str, Any]) -> Task:
+    """Rebuild a task from its plain-dict form."""
+    deadline = data.get("deadline")
+    return Task(
+        wcet=float(data["wcet"]),
+        period=float(data["period"]),
+        name=str(data.get("name", "")),
+        deadline=float(deadline) if deadline is not None else None,
+    )
+
+
+def taskset_to_dict(taskset: TaskSet) -> dict[str, Any]:
+    """Plain-dict form of a task set."""
+    return {"tasks": [task_to_dict(t) for t in taskset]}
+
+
+def taskset_from_dict(data: dict[str, Any]) -> TaskSet:
+    """Rebuild a task set from its plain-dict form."""
+    return TaskSet(task_from_dict(d) for d in data["tasks"])
+
+
+def platform_to_dict(platform: Platform) -> dict[str, Any]:
+    """Plain-dict form of a platform."""
+    return {
+        "machines": [
+            {"speed": m.speed, "name": m.name} for m in platform
+        ]
+    }
+
+
+def platform_from_dict(data: dict[str, Any]) -> Platform:
+    """Rebuild a platform from its plain-dict form."""
+    return Platform(
+        Machine(speed=float(d["speed"]), name=str(d.get("name", "")))
+        for d in data["machines"]
+    )
+
+
+def partition_result_to_dict(result: PartitionResult) -> dict[str, Any]:
+    """One-way export of a partition verdict (results archive)."""
+    return {
+        "success": result.success,
+        "assignment": list(result.assignment),
+        "loads": list(result.loads),
+        "failed_task": result.failed_task,
+        "alpha": result.alpha,
+        "test_name": result.test_name,
+        "order": list(result.order),
+    }
+
+
+def save_json(path: str | Path, payload: dict[str, Any]) -> None:
+    """Write a payload dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a JSON payload dict."""
+    return json.loads(Path(path).read_text())

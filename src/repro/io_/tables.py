@@ -1,0 +1,79 @@
+"""Aligned-text and CSV table rendering for experiment outputs.
+
+Every experiment emits its table/figure data as ``list[dict]`` rows;
+these helpers render them for the terminal (the "paper table" the bench
+prints) and for archival CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "rows_to_csv", "write_csv"]
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Columns are the union of row keys, in first-appearance order.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [
+        {c: _fmt(row.get(c, ""), precision) for c in columns} for row in rows
+    ]
+    widths = {
+        c: max(len(c), *(len(r[c]) for r in rendered)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(r[c].rjust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Rows as CSV text (union of keys, first-appearance order)."""
+    if not rows:
+        return ""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=columns)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({c: row.get(c, "") for c in columns})
+    return buf.getvalue()
+
+
+def write_csv(path: str | Path, rows: Sequence[Mapping[str, Any]]) -> None:
+    """Write rows to a CSV file."""
+    Path(path).write_text(rows_to_csv(rows))

@@ -1,0 +1,48 @@
+"""Deterministic discrete-event primitives shared by the simulators."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generic, TypeVar
+
+__all__ = ["TIME_EPS", "EventQueue"]
+
+#: Absolute tolerance for comparing simulation times.  All simulation
+#: quantities are O(periods), so an absolute epsilon is appropriate.
+TIME_EPS: float = 1e-9
+
+T = TypeVar("T")
+
+
+class EventQueue(Generic[T]):
+    """A time-ordered queue with deterministic FIFO tie-breaking.
+
+    Events pushed at equal times pop in push order (a monotone sequence
+    number breaks ties), which keeps simulations replayable.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, T]] = []
+        self._seq = 0
+
+    def push(self, time: float, payload: T) -> None:
+        heapq.heappush(self._heap, (time, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, T]:
+        time, _, payload = heapq.heappop(self._heap)
+        return time, payload
+
+    def peek_time(self) -> float:
+        """Time of the earliest event; +inf when empty."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

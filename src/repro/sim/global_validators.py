@@ -1,0 +1,78 @@
+"""Independent validators for global (migratory) schedule traces.
+
+Global schedules have two invariants partitioned ones don't:
+
+* a job must never execute on two machines at the same instant
+  (constraint (2) of the paper's LP is the fluid version of this);
+* per-job work accounting must weight each interval by the speed of the
+  machine it ran on (speeds differ across a job's lifetime).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.model import Task
+from .engine import TIME_EPS
+from .global_sched import GlobalTrace
+
+__all__ = ["validate_global_trace"]
+
+_WORK_EPS = 1e-6
+
+
+def validate_global_trace(trace: GlobalTrace, tasks: Sequence[Task]) -> list[str]:
+    """Structural invariants of a global schedule; [] when clean."""
+    errors: list[str] = []
+    records = {(r.task_index, r.job_id): r for r in trace.jobs}
+
+    # per-machine non-overlap
+    for machine in range(len(trace.speeds)):
+        prev_end = 0.0
+        for seg in sorted(
+            (s for s in trace.segments if s.machine == machine),
+            key=lambda s: s.start,
+        ):
+            if seg.end <= seg.start:
+                errors.append(f"machine {machine}: empty segment {seg}")
+            if seg.start < prev_end - TIME_EPS:
+                errors.append(
+                    f"machine {machine}: overlapping segments at {seg.start}"
+                )
+            prev_end = max(prev_end, seg.end)
+
+    # per-job: no parallel self-execution, release respected, work adds up
+    by_job: dict[tuple[int, int], list] = {}
+    for seg in trace.segments:
+        by_job.setdefault((seg.task_index, seg.job_id), []).append(seg)
+    for key, segs in by_job.items():
+        rec = records.get(key)
+        if rec is None:
+            errors.append(f"job {key}: segments without a record")
+            continue
+        segs.sort(key=lambda s: s.start)
+        prev_end = -1.0
+        executed = 0.0
+        for seg in segs:
+            if seg.start < rec.release - TIME_EPS:
+                errors.append(f"job {key}: ran before release at {seg.start}")
+            if seg.start < prev_end - TIME_EPS:
+                errors.append(
+                    f"job {key}: executes on two machines around {seg.start}"
+                )
+            prev_end = max(prev_end, seg.end)
+            executed += seg.duration * trace.speeds[seg.machine]
+        if rec.completion is not None:
+            if abs(executed - rec.work) > _WORK_EPS * max(1.0, rec.work):
+                errors.append(
+                    f"job {key}: executed {executed} but work is {rec.work}"
+                )
+        elif executed > rec.work * (1 + _WORK_EPS):
+            errors.append(f"job {key}: over-executed while incomplete")
+
+    for key, rec in records.items():
+        if rec.completion is not None:
+            expect = rec.completion > rec.deadline + TIME_EPS
+            if rec.missed != expect:
+                errors.append(f"job {key}: inconsistent miss flag")
+    return errors

@@ -1,0 +1,59 @@
+"""Hyperperiod computation and simulation horizons.
+
+For synchronous periodic releases of implicit-deadline tasks, a schedule
+that meets all deadlines over one hyperperiod (the lcm of the periods)
+repeats forever, so the hyperperiod is the exact certification horizon.
+Hyperperiods only exist (usefully) for integer-valued periods and can
+explode combinatorially, hence the cap and the fallback horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..core.model import Task
+
+__all__ = ["hyperperiod", "default_horizon"]
+
+
+def hyperperiod(
+    periods: Iterable[float], *, cap: float = 1e9
+) -> float | None:
+    """lcm of integer-valued periods, or None.
+
+    Returns None when any period is not (within 1e-9) an integer, or when
+    the lcm exceeds ``cap`` (simulating that long is pointless).
+    """
+    ints: list[int] = []
+    for p in periods:
+        r = round(p)
+        if r <= 0 or abs(p - r) > 1e-9 * max(1.0, p):
+            return None
+        ints.append(int(r))
+    if not ints:
+        return None
+    acc = 1
+    for v in ints:
+        acc = math.lcm(acc, v)
+        if acc > cap:
+            return None
+    return float(acc)
+
+
+def default_horizon(
+    tasks: Sequence[Task], *, factor: float = 10.0, cap: float = 1e6
+) -> float:
+    """Simulation horizon: the hyperperiod when it exists and is small,
+    else ``factor`` times the largest period.
+
+    The fallback is a *heuristic* horizon (fine for experiments that
+    count misses; certification experiments should use integer periods so
+    the true hyperperiod applies).
+    """
+    if not tasks:
+        return 0.0
+    hp = hyperperiod((t.period for t in tasks), cap=cap)
+    if hp is not None:
+        return hp
+    return factor * max(t.period for t in tasks)

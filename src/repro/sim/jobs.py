@@ -1,0 +1,122 @@
+"""Jobs and release-pattern sources for the schedule simulator.
+
+A sporadic task releases jobs at least ``p_i`` apart (§II).  Two release
+patterns matter for the evaluation:
+
+* **periodic, synchronous** (:class:`PeriodicSource`): releases at
+  ``0, p, 2p, ...``.  This is the densest legal sporadic pattern and the
+  critical instant for both EDF and RMS, so "no misses under synchronous
+  periodic release up to the hyperperiod" certifies the sporadic task set
+  (for implicit deadlines).
+* **sporadic with random gaps** (:class:`SporadicSource`): inter-release
+  times ``p * (1 + X)`` with ``X ~ Exp(jitter)`` — exercises the general
+  model in integration tests.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.model import Task
+
+__all__ = ["Job", "JobSource", "PeriodicSource", "SporadicSource"]
+
+
+@dataclass
+class Job:
+    """One released job instance."""
+
+    task_index: int
+    job_id: int
+    release: float
+    deadline: float  # absolute
+    work: float  # total work (on a unit-speed machine)
+    remaining: float  # work still to execute
+
+    @property
+    def completed(self) -> bool:
+        return self.remaining <= 0.0
+
+
+class JobSource(ABC):
+    """A stream of job releases for one task."""
+
+    def __init__(self, task: Task, task_index: int):
+        self.task = task
+        self.task_index = task_index
+        self._count = 0
+
+    @abstractmethod
+    def peek(self) -> float:
+        """Release time of the next job (may be +inf if exhausted)."""
+
+    def pop(self) -> Job:
+        """Materialize the next job and advance the stream."""
+        release = self.peek()
+        job = Job(
+            task_index=self.task_index,
+            job_id=self._count,
+            release=release,
+            deadline=release + self.task.deadline,
+            work=self.task.wcet,
+            remaining=self.task.wcet,
+        )
+        self._count += 1
+        self._advance()
+        return job
+
+    @abstractmethod
+    def _advance(self) -> None:
+        """Move to the next release."""
+
+
+class PeriodicSource(JobSource):
+    """Strictly periodic releases at ``offset + k * period``."""
+
+    def __init__(self, task: Task, task_index: int, *, offset: float = 0.0):
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        super().__init__(task, task_index)
+        self._next = offset
+
+    def peek(self) -> float:
+        return self._next
+
+    def _advance(self) -> None:
+        self._next += self.task.period
+
+
+class SporadicSource(JobSource):
+    """Sporadic releases: gaps of ``period * (1 + Exp(jitter))``.
+
+    ``jitter = 0`` degenerates to periodic.  Gaps are always at least one
+    period, respecting the sporadic constraint.
+    """
+
+    def __init__(
+        self,
+        task: Task,
+        task_index: int,
+        rng: np.random.Generator,
+        *,
+        jitter: float = 0.2,
+        offset: float = 0.0,
+    ):
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        super().__init__(task, task_index)
+        self._rng = rng
+        self._jitter = jitter
+        self._next = offset
+
+    def peek(self) -> float:
+        return self._next
+
+    def _advance(self) -> None:
+        extra = self._rng.exponential(self._jitter) if self._jitter > 0 else 0.0
+        self._next += self.task.period * (1.0 + extra)

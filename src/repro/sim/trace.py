@@ -1,0 +1,87 @@
+"""Execution traces: what actually ran, when, on which machine.
+
+Traces are the simulator's auditable output — every claim the library
+makes about schedulability can be checked against them by the validators
+(:mod:`repro.sim.validators`) without trusting the simulator's internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Segment", "JobRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal interval during which one job ran uninterrupted."""
+
+    start: float
+    end: float
+    task_index: int
+    job_id: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle summary of one job."""
+
+    task_index: int
+    job_id: int
+    release: float
+    deadline: float  # absolute
+    work: float
+    #: completion time, or None if still unfinished at the horizon
+    completion: float | None
+    #: True iff the deadline was missed (late completion, or unfinished
+    #: with the deadline inside the horizon)
+    missed: bool
+
+    @property
+    def response_time(self) -> float | None:
+        if self.completion is None:
+            return None
+        return self.completion - self.release
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Complete execution record of one machine over ``[0, horizon]``."""
+
+    machine_speed: float
+    horizon: float
+    policy_name: str
+    segments: tuple[Segment, ...]
+    jobs: tuple[JobRecord, ...]
+
+    @property
+    def any_miss(self) -> bool:
+        return any(j.missed for j in self.jobs)
+
+    @property
+    def misses(self) -> tuple[JobRecord, ...]:
+        return tuple(j for j in self.jobs if j.missed)
+
+    @property
+    def busy_time(self) -> float:
+        return sum(s.duration for s in self.segments)
+
+    @property
+    def utilization_observed(self) -> float:
+        """Fraction of the horizon the machine was busy."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.busy_time / self.horizon
+
+    def max_response_time(self, task_index: int) -> float | None:
+        """Largest observed response time of a task's completed jobs."""
+        times = [
+            j.response_time
+            for j in self.jobs
+            if j.task_index == task_index and j.response_time is not None
+        ]
+        return max(times) if times else None

@@ -1,0 +1,216 @@
+"""Independent trace validators.
+
+These re-derive every invariant a correct preemptive schedule must
+satisfy *from the trace alone*, without trusting the simulator: interval
+sanity, work conservation per job, completion/miss bookkeeping, priority
+compliance (the running job is always a highest-priority ready job, with
+preemption at releases), and work-conserving idling.  The test suite runs
+them over randomized simulations; experiments may run them as sanity
+rails.
+
+Each validator returns a list of human-readable violation strings —
+empty means clean.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.model import Task
+from .engine import TIME_EPS
+from .jobs import Job
+from .policies import policy_by_name
+from .trace import JobRecord, Trace
+
+__all__ = ["validate_trace", "validate_policy_compliance", "validate_all"]
+
+_WORK_EPS = 1e-6
+
+
+def _job_key(record: JobRecord) -> tuple[int, int]:
+    return (record.task_index, record.job_id)
+
+
+def validate_trace(trace: Trace, tasks: Sequence[Task]) -> list[str]:
+    """Structural and accounting invariants."""
+    errors: list[str] = []
+    records = {_job_key(r): r for r in trace.jobs}
+
+    prev_end = 0.0
+    for k, seg in enumerate(trace.segments):
+        if seg.end <= seg.start + 0.0:
+            errors.append(f"segment {k}: non-positive duration {seg}")
+        if seg.start < prev_end - TIME_EPS:
+            errors.append(f"segment {k}: overlaps previous (starts {seg.start} < {prev_end})")
+        if seg.start < -TIME_EPS or seg.end > trace.horizon + TIME_EPS:
+            errors.append(f"segment {k}: outside [0, horizon] {seg}")
+        key = (seg.task_index, seg.job_id)
+        rec = records.get(key)
+        if rec is None:
+            errors.append(f"segment {k}: no job record for {key}")
+        elif seg.start < rec.release - TIME_EPS:
+            errors.append(
+                f"segment {k}: job {key} ran at {seg.start} before release {rec.release}"
+            )
+        prev_end = max(prev_end, seg.end)
+
+    executed: dict[tuple[int, int], float] = {}
+    last_end: dict[tuple[int, int], float] = {}
+    for seg in trace.segments:
+        key = (seg.task_index, seg.job_id)
+        executed[key] = executed.get(key, 0.0) + seg.duration * trace.machine_speed
+        last_end[key] = seg.end
+
+    for key, rec in records.items():
+        done = executed.get(key, 0.0)
+        if rec.completion is not None:
+            if abs(done - rec.work) > _WORK_EPS * max(1.0, rec.work):
+                errors.append(
+                    f"job {key}: completed with {done} executed, work is {rec.work}"
+                )
+            if key in last_end and abs(last_end[key] - rec.completion) > TIME_EPS:
+                errors.append(
+                    f"job {key}: completion {rec.completion} != last segment end {last_end[key]}"
+                )
+            expect_missed = rec.completion > rec.deadline + TIME_EPS
+            if rec.missed != expect_missed:
+                errors.append(
+                    f"job {key}: missed flag {rec.missed} inconsistent with "
+                    f"completion {rec.completion} vs deadline {rec.deadline}"
+                )
+        else:
+            if done > rec.work * (1.0 + _WORK_EPS) + _WORK_EPS:
+                errors.append(
+                    f"job {key}: executed {done} exceeds work {rec.work} yet incomplete"
+                )
+            expect_missed = rec.deadline <= trace.horizon + TIME_EPS
+            if rec.missed != expect_missed:
+                errors.append(
+                    f"job {key}: incomplete, missed flag {rec.missed} vs deadline "
+                    f"{rec.deadline} and horizon {trace.horizon}"
+                )
+    return errors
+
+
+def validate_policy_compliance(trace: Trace, tasks: Sequence[Task]) -> list[str]:
+    """Priority and work-conservation compliance.
+
+    Replays the trace chronologically in a single sweep (O((S + J) log J)
+    for S segments and J jobs): at every segment start the running job
+    must have a minimal priority key among ready incomplete jobs; no
+    higher-priority release may occur strictly inside a segment; the
+    machine may not idle while a ready incomplete job exists.
+    """
+    errors: list[str] = []
+    policy = policy_by_name(trace.policy_name)
+
+    # Reconstruct Job shims for key computation.
+    shims: dict[tuple[int, int], Job] = {}
+    for rec in trace.jobs:
+        shims[_job_key(rec)] = Job(
+            task_index=rec.task_index,
+            job_id=rec.job_id,
+            release=rec.release,
+            deadline=rec.deadline,
+            work=rec.work,
+            remaining=rec.work,
+        )
+
+    releases = sorted(
+        ((rec.release, _job_key(rec)) for rec in trace.jobs),
+        key=lambda rk: rk[0],
+    )
+
+    # Jobs recorded as missed-and-incomplete may have been *aborted* at
+    # their deadline (firm-deadline simulation, on_miss='abort'); after
+    # that instant they are no longer schedulable, so they must not count
+    # as ready.  Continue-mode traces never idle past such a job anyway,
+    # so the relaxation cannot create false negatives there either way.
+    abort_time = {
+        _job_key(rec): rec.deadline
+        for rec in trace.jobs
+        if rec.completion is None and rec.missed
+    }
+
+    # Sweep state: jobs released so far and not yet finished ("active"),
+    # plus executed work per job.
+    active: dict[tuple[int, int], Job] = {}
+    executed: dict[tuple[int, int], float] = {}
+    release_ptr = 0
+
+    def admit_up_to(time: float) -> None:
+        nonlocal release_ptr
+        while release_ptr < len(releases) and releases[release_ptr][0] <= time + TIME_EPS:
+            _, key = releases[release_ptr]
+            active[key] = shims[key]
+            release_ptr += 1
+        for key in [
+            k for k in active if k in abort_time and abort_time[k] <= time + TIME_EPS
+        ]:
+            del active[key]
+
+    def check_no_ready_at(label: str, time: float, exclude=None) -> None:
+        """No active job (except `exclude`) may exist — used for idle gaps."""
+        for key, job in active.items():
+            if key == exclude:
+                continue
+            errors.append(
+                f"{label} while job ({job.task_index},{job.job_id}) was ready"
+            )
+            return
+
+    # Interleave idle-gap checks with segments in one chronological pass.
+    prev_end = 0.0
+    for k, seg in enumerate(trace.segments):
+        if seg.start > prev_end + TIME_EPS:
+            # idle gap [prev_end, seg.start): anything released by
+            # prev_end and unfinished violates work conservation
+            admit_up_to(prev_end)
+            check_no_ready_at(f"idle gap [{prev_end}, {seg.start}]", prev_end)
+
+        admit_up_to(seg.start)
+        seg_key = (seg.task_index, seg.job_id)
+        running = shims.get(seg_key)
+        if running is None:
+            prev_end = max(prev_end, seg.end)
+            continue  # validate_trace reports the phantom segment
+        run_key = policy.key(running, tasks)
+        for key, job in active.items():
+            if key == seg_key:
+                continue
+            if policy.key(job, tasks) < run_key:
+                errors.append(
+                    f"segment {k}: job ({seg.task_index},{seg.job_id}) ran at "
+                    f"{seg.start} while higher-priority "
+                    f"({job.task_index},{job.job_id}) was ready"
+                )
+                break
+
+        # releases strictly inside the segment must not outrank the runner
+        probe = release_ptr
+        while probe < len(releases) and releases[probe][0] < seg.end - TIME_EPS:
+            rel, key = releases[probe]
+            if rel > seg.start + TIME_EPS and policy.key(shims[key], tasks) < run_key:
+                errors.append(
+                    f"segment {k}: higher-priority release of {key} at {rel} "
+                    f"did not preempt ({seg.task_index},{seg.job_id})"
+                )
+                break
+            probe += 1
+
+        executed[seg_key] = executed.get(seg_key, 0.0) + seg.duration * trace.machine_speed
+        if executed[seg_key] >= running.work * (1.0 - _WORK_EPS):
+            active.pop(seg_key, None)
+        prev_end = max(prev_end, seg.end)
+
+    if trace.horizon > prev_end + TIME_EPS:
+        admit_up_to(prev_end)
+        check_no_ready_at(
+            f"idle gap [{prev_end}, {trace.horizon}]", prev_end
+        )
+    return errors
+
+
+def validate_all(trace: Trace, tasks: Sequence[Task]) -> list[str]:
+    """All validators combined."""
+    return validate_trace(trace, tasks) + validate_policy_compliance(trace, tasks)

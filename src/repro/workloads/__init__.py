@@ -1,0 +1,47 @@
+"""Synthetic workload generation: utilizations, periods, platforms,
+complete instances, and experiment campaigns."""
+
+from .builder import (
+    PartitionedInstance,
+    generate_taskset,
+    lp_feasible_instance,
+    partitioned_feasible_instance,
+    taskset_from_utilizations,
+)
+from .campaigns import Campaign, Trial, utilization_grid
+from .periods import choice_periods, harmonic_periods, log_uniform_periods
+from .platforms import (
+    big_little_platform,
+    geometric_platform,
+    identical_platform,
+    normalized,
+    random_platform,
+)
+from .randfixedsum import randfixedsum
+from .suites import AUTOMOTIVE_PERIOD_SHARES, automotive_suite, avionics_suite
+from .uunifast import uunifast, uunifast_discard
+
+__all__ = [
+    "PartitionedInstance",
+    "generate_taskset",
+    "lp_feasible_instance",
+    "partitioned_feasible_instance",
+    "taskset_from_utilizations",
+    "Campaign",
+    "Trial",
+    "utilization_grid",
+    "choice_periods",
+    "harmonic_periods",
+    "log_uniform_periods",
+    "big_little_platform",
+    "geometric_platform",
+    "identical_platform",
+    "normalized",
+    "random_platform",
+    "randfixedsum",
+    "AUTOMOTIVE_PERIOD_SHARES",
+    "automotive_suite",
+    "avionics_suite",
+    "uunifast",
+    "uunifast_discard",
+]

@@ -1,0 +1,202 @@
+"""Task-set builders: turn utilization/period draws into instances.
+
+Besides the plain generator this module builds the *certified* instances
+the ratio experiments need:
+
+* :func:`partitioned_feasible_instance` constructs a task set together
+  with a witness partition that fits machine capacities at speed 1 — a
+  certified partitioned-adversary-feasible instance of any size (the
+  existential adversary of Theorems I.1/I.2 made concrete);
+* :func:`lp_feasible_instance` draws instances and keeps those the §II LP
+  accepts — certified any-adversary-feasible instances for Theorems
+  I.3/I.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..core.lp import lp_feasible
+from ..core.model import Platform, Task, TaskSet
+from .periods import log_uniform_periods
+from .randfixedsum import randfixedsum
+from .uunifast import uunifast, uunifast_discard
+
+__all__ = [
+    "taskset_from_utilizations",
+    "generate_taskset",
+    "PartitionedInstance",
+    "partitioned_feasible_instance",
+    "lp_feasible_instance",
+]
+
+
+def taskset_from_utilizations(
+    utilizations: Sequence[float],
+    periods: Sequence[float],
+    *,
+    name_prefix: str = "tau",
+) -> TaskSet:
+    """Pair utilizations with periods (``wcet = u * p``)."""
+    if len(utilizations) != len(periods):
+        raise ValueError(
+            f"{len(utilizations)} utilizations vs {len(periods)} periods"
+        )
+    return TaskSet(
+        Task.from_utilization(float(u), float(p), name=f"{name_prefix}{i}")
+        for i, (u, p) in enumerate(zip(utilizations, periods))
+    )
+
+
+def generate_taskset(
+    rng: np.random.Generator,
+    n: int,
+    total_utilization: float,
+    *,
+    method: Literal["uunifast", "randfixedsum"] = "uunifast",
+    u_min: float = 0.0,
+    u_max: float | None = None,
+    p_min: float = 10.0,
+    p_max: float = 1000.0,
+    integer_periods: bool = False,
+) -> TaskSet:
+    """Draw a synthetic task set.
+
+    ``method='uunifast'`` (with optional ``u_max`` -> UUniFast-Discard) or
+    ``method='randfixedsum'`` (supports both ``u_min`` and ``u_max``).
+    Periods are log-uniform on ``[p_min, p_max]``.
+    """
+    if method == "uunifast":
+        if u_min > 0:
+            raise ValueError("u_min requires method='randfixedsum'")
+        if u_max is None:
+            utils = uunifast(rng, n, total_utilization)
+        else:
+            utils = uunifast_discard(rng, n, total_utilization, u_max=u_max)
+    elif method == "randfixedsum":
+        utils = randfixedsum(
+            rng,
+            n,
+            total_utilization,
+            low=u_min,
+            high=u_max if u_max is not None else max(1.0, total_utilization),
+        )[0]
+    else:
+        raise ValueError(f"unknown method {method!r}")
+    periods = log_uniform_periods(
+        rng,
+        n,
+        p_min=p_min,
+        p_max=p_max,
+        granularity=1.0 if integer_periods else None,
+    )
+    return taskset_from_utilizations(utils, periods)
+
+
+@dataclass(frozen=True)
+class PartitionedInstance:
+    """A task set plus a witness partition proving adversary feasibility."""
+
+    taskset: TaskSet
+    platform: Platform
+    #: per task index: the witness machine (canonical platform index)
+    witness: tuple[int, ...]
+
+    def witness_loads(self) -> list[float]:
+        """Utilization per machine under the witness assignment."""
+        loads = [0.0] * len(self.platform)
+        for i, j in enumerate(self.witness):
+            loads[j] += self.taskset[i].utilization
+        return loads
+
+
+def partitioned_feasible_instance(
+    rng: np.random.Generator,
+    platform: Platform,
+    *,
+    load: float = 0.95,
+    tasks_per_machine: int = 4,
+    p_min: float = 10.0,
+    p_max: float = 1000.0,
+    integer_periods: bool = False,
+) -> PartitionedInstance:
+    """Construct an instance that is partitioned-EDF feasible at speed 1.
+
+    For each machine ``j`` independently, draw ``tasks_per_machine``
+    utilizations summing to ``load * s_j`` (UUniFast), so assigning those
+    tasks to machine ``j`` is a valid EDF partition (Theorem II.2).  Task
+    order is shuffled so the witness carries no ordering hints.
+
+    These are exactly the instances the partitioned adversary of Theorems
+    I.1/I.2 can schedule; first-fit must succeed on them at the theorems'
+    speed augmentations.
+    """
+    if not 0 < load <= 1.0:
+        raise ValueError("load must be in (0, 1]")
+    if tasks_per_machine < 1:
+        raise ValueError("tasks_per_machine must be positive")
+    tasks: list[Task] = []
+    owners: list[int] = []
+    for j, machine in enumerate(platform):
+        utils = uunifast(rng, tasks_per_machine, load * machine.speed)
+        periods = log_uniform_periods(
+            rng,
+            tasks_per_machine,
+            p_min=p_min,
+            p_max=p_max,
+            granularity=1.0 if integer_periods else None,
+        )
+        for u, p in zip(utils, periods):
+            tasks.append(Task.from_utilization(float(u), float(p)))
+            owners.append(j)
+    perm = rng.permutation(len(tasks))
+    shuffled = [tasks[i] for i in perm]
+    witness = tuple(owners[i] for i in perm)
+    named = [
+        Task(wcet=t.wcet, period=t.period, name=f"tau{i}")
+        for i, t in enumerate(shuffled)
+    ]
+    return PartitionedInstance(
+        taskset=TaskSet(named), platform=platform, witness=witness
+    )
+
+
+def lp_feasible_instance(
+    rng: np.random.Generator,
+    platform: Platform,
+    n: int,
+    *,
+    stress: float = 0.95,
+    p_min: float = 10.0,
+    p_max: float = 1000.0,
+    max_attempts: int = 200,
+) -> TaskSet:
+    """Draw an instance certified feasible for the §II LP (any adversary).
+
+    Total utilization is ``stress * total_speed`` with each task capped at
+    ``stress * s_max`` (both necessary conditions), then the LP verifies
+    feasibility; rejected draws are retried.
+
+    Raises
+    ------
+    RuntimeError
+        if no LP-feasible draw is found in ``max_attempts`` tries (only
+        plausible at extreme ``stress`` on pathological platforms).
+    """
+    if not 0 < stress <= 1.0:
+        raise ValueError("stress must be in (0, 1]")
+    total = stress * platform.total_speed
+    cap = stress * platform.fastest_speed
+    for _ in range(max_attempts):
+        utils = randfixedsum(rng, n, total, low=0.0, high=min(cap, total))[0]
+        periods = log_uniform_periods(rng, n, p_min=p_min, p_max=p_max)
+        taskset = taskset_from_utilizations(utils, periods)
+        if lp_feasible(taskset, platform):
+            return taskset
+    raise RuntimeError(
+        f"no LP-feasible instance found in {max_attempts} attempts "
+        f"(n={n}, stress={stress}, platform={platform!r})"
+    )

@@ -1,0 +1,75 @@
+"""Period generators.
+
+Periods in schedulability studies are conventionally drawn log-uniformly
+across a few orders of magnitude (Emberson et al., WATERS 2010), so that
+every decade of timescales is equally represented.  Harmonic period sets
+(each period divides the next) are provided too: they are RMS's best case
+and keep hyperperiods small for exhaustive simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["log_uniform_periods", "harmonic_periods", "choice_periods"]
+
+
+def log_uniform_periods(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    p_min: float = 10.0,
+    p_max: float = 1000.0,
+    granularity: float | None = None,
+) -> np.ndarray:
+    """``n`` periods log-uniform on ``[p_min, p_max]``.
+
+    Parameters
+    ----------
+    granularity:
+        If given, round each period *up* to a multiple of this value
+        (e.g. ``granularity=1`` yields integer periods, keeping
+        hyperperiods finite for exhaustive simulation).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 < p_min <= p_max:
+        raise ValueError(f"need 0 < p_min <= p_max, got [{p_min}, {p_max}]")
+    periods = np.exp(rng.uniform(math.log(p_min), math.log(p_max), size=n))
+    if granularity is not None:
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        periods = np.ceil(periods / granularity) * granularity
+    return periods
+
+
+def harmonic_periods(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    base: float = 10.0,
+    levels: int = 5,
+) -> np.ndarray:
+    """``n`` periods of the form ``base * 2**k``, ``k`` uniform on
+    ``0..levels-1`` — a harmonic chain (every pair divides)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if levels < 1:
+        raise ValueError("levels must be positive")
+    if base <= 0:
+        raise ValueError("base must be positive")
+    ks = rng.integers(0, levels, size=n)
+    return base * np.exp2(ks).astype(float)
+
+
+def choice_periods(
+    rng: np.random.Generator, n: int, choices: list[float]
+) -> np.ndarray:
+    """``n`` periods drawn uniformly from an explicit menu."""
+    if not choices:
+        raise ValueError("choices must be non-empty")
+    if any(c <= 0 for c in choices):
+        raise ValueError("all period choices must be positive")
+    return rng.choice(np.asarray(choices, dtype=float), size=n)

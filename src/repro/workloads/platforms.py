@@ -1,0 +1,93 @@
+"""Heterogeneous (related-machines) platform generators.
+
+The paper's motivation (§I) is platforms mixing many slow/low-power cores
+with a few fast ones.  We provide the platform shapes the evaluation
+sweeps over:
+
+* identical — the degenerate baseline,
+* geometric — speeds in geometric progression with a chosen max/min ratio,
+* big.LITTLE — two clusters of identical cores,
+* random — speeds drawn uniformly or log-uniformly from a range.
+
+``normalized`` rescales a platform to a target total speed so that
+heterogeneity sweeps hold aggregate capacity constant (experiment E7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import Machine, Platform
+
+__all__ = [
+    "identical_platform",
+    "geometric_platform",
+    "big_little_platform",
+    "random_platform",
+    "normalized",
+]
+
+
+def identical_platform(m: int, speed: float = 1.0) -> Platform:
+    """``m`` machines of equal ``speed``."""
+    return Platform.identical(m, speed)
+
+
+def geometric_platform(m: int, ratio: float, *, slowest: float = 1.0) -> Platform:
+    """``m`` machines with speeds in geometric progression from ``slowest``
+    to ``slowest * ratio`` (``ratio`` = heterogeneity ``s_max/s_min``)."""
+    if m < 1:
+        raise ValueError("need at least one machine")
+    if ratio < 1.0:
+        raise ValueError("ratio must be >= 1")
+    if m == 1:
+        return Platform.from_speeds([slowest])
+    step = ratio ** (1.0 / (m - 1))
+    return Platform.from_speeds([slowest * step**j for j in range(m)])
+
+
+def big_little_platform(
+    n_big: int,
+    n_little: int,
+    *,
+    big_speed: float = 2.0,
+    little_speed: float = 1.0,
+) -> Platform:
+    """A two-cluster platform: ``n_big`` fast cores + ``n_little`` slow cores."""
+    if n_big < 0 or n_little < 0 or n_big + n_little < 1:
+        raise ValueError("need at least one core")
+    machines = [
+        Machine(big_speed, name=f"big{j}") for j in range(n_big)
+    ] + [Machine(little_speed, name=f"little{j}") for j in range(n_little)]
+    return Platform(machines)
+
+
+def random_platform(
+    rng: np.random.Generator,
+    m: int,
+    *,
+    min_speed: float = 1.0,
+    max_speed: float = 4.0,
+    log_scale: bool = True,
+) -> Platform:
+    """``m`` machines with speeds drawn from ``[min_speed, max_speed]``,
+    log-uniformly by default (uniform in each decade)."""
+    if m < 1:
+        raise ValueError("need at least one machine")
+    if not 0 < min_speed <= max_speed:
+        raise ValueError("need 0 < min_speed <= max_speed")
+    if log_scale:
+        speeds = np.exp(
+            rng.uniform(np.log(min_speed), np.log(max_speed), size=m)
+        )
+    else:
+        speeds = rng.uniform(min_speed, max_speed, size=m)
+    return Platform.from_speeds(speeds.tolist())
+
+
+def normalized(platform: Platform, total_speed: float) -> Platform:
+    """Rescale every speed so the platform's total speed equals
+    ``total_speed`` (shape-preserving)."""
+    if total_speed <= 0:
+        raise ValueError("total_speed must be positive")
+    return platform.scaled(total_speed / platform.total_speed)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import Platform, Task, TaskSet
+from repro.workloads.platforms import (
+    big_little_platform,
+    geometric_platform,
+    identical_platform,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_taskset() -> TaskSet:
+    """Three tasks with utilizations 0.2, 0.75, 0.75."""
+    return TaskSet(
+        [
+            Task(wcet=2, period=10, name="a"),
+            Task(wcet=6, period=8, name="b"),
+            Task(wcet=3, period=4, name="c"),
+        ]
+    )
+
+
+@pytest.fixture
+def unit_machine_platform() -> Platform:
+    return identical_platform(1, 1.0)
+
+
+@pytest.fixture
+def hetero_platform() -> Platform:
+    """Four machines, speeds 1 .. 8 geometric."""
+    return geometric_platform(4, 8.0)
+
+
+@pytest.fixture
+def biglittle() -> Platform:
+    return big_little_platform(2, 4, big_speed=3.0, little_speed=1.0)

@@ -1,0 +1,206 @@
+"""Unit and property tests for repro.core.bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    ADMISSION_TESTS,
+    EDFUtilizationTest,
+    RMSHyperbolicTest,
+    RMSLiuLaylandTest,
+    RMSResponseTimeTest,
+    admission_test,
+    edf_utilization_feasible,
+    liu_layland_bound,
+    rms_hyperbolic_feasible,
+    rms_liu_layland_feasible,
+    rms_rta_feasible,
+)
+from repro.core.model import Task
+
+LN2 = math.log(2)
+
+
+def tasks_from_utils(utils, period=10.0):
+    return [Task.from_utilization(u, period * (i + 1)) for i, u in enumerate(utils)]
+
+
+class TestLiuLaylandBound:
+    def test_known_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(2 * (2**0.5 - 1))
+        assert liu_layland_bound(3) == pytest.approx(3 * (2 ** (1 / 3) - 1))
+
+    def test_zero_tasks(self):
+        assert liu_layland_bound(0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            liu_layland_bound(-1)
+
+    def test_monotone_decreasing_to_ln2(self):
+        prev = liu_layland_bound(1)
+        for n in range(2, 200):
+            cur = liu_layland_bound(n)
+            assert cur < prev
+            prev = cur
+        assert prev > LN2
+        assert prev == pytest.approx(LN2, abs=5e-3)
+
+
+class TestEDFUtilizationFeasible:
+    def test_under_capacity(self):
+        assert edf_utilization_feasible(tasks_from_utils([0.4, 0.5]), 1.0)
+
+    def test_exactly_at_capacity(self):
+        assert edf_utilization_feasible(tasks_from_utils([0.5, 0.5]), 1.0)
+
+    def test_over_capacity(self):
+        assert not edf_utilization_feasible(tasks_from_utils([0.6, 0.5]), 1.0)
+
+    def test_scales_with_speed(self):
+        tasks = tasks_from_utils([0.9, 0.9])
+        assert not edf_utilization_feasible(tasks, 1.0)
+        assert edf_utilization_feasible(tasks, 2.0)
+
+    def test_empty(self):
+        assert edf_utilization_feasible([], 0.5)
+
+
+class TestRMSLiuLayland:
+    def test_single_task_full_machine(self):
+        assert rms_liu_layland_feasible(tasks_from_utils([1.0]), 1.0)
+
+    def test_two_tasks_bound(self):
+        bound2 = 2 * (2**0.5 - 1)  # ~0.828
+        assert rms_liu_layland_feasible(tasks_from_utils([bound2 / 2, bound2 / 2]), 1.0)
+        assert not rms_liu_layland_feasible(tasks_from_utils([0.45, 0.45]), 1.0)
+
+    def test_empty(self):
+        assert rms_liu_layland_feasible([], 1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=0.3), min_size=1, max_size=8),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    def test_ll_implies_edf(self, utils, speed):
+        # LL bound <= 1, so LL acceptance implies EDF acceptance
+        tasks = tasks_from_utils(utils)
+        if rms_liu_layland_feasible(tasks, speed):
+            assert edf_utilization_feasible(tasks, speed)
+
+
+class TestRMSHyperbolic:
+    def test_dominates_liu_layland(self, rng):
+        # every LL-accepted set is hyperbolic-accepted
+        for _ in range(200):
+            n = int(rng.integers(1, 7))
+            utils = rng.uniform(0.02, 0.5, size=n)
+            tasks = tasks_from_utils(utils)
+            speed = float(rng.uniform(0.5, 2.0))
+            if rms_liu_layland_feasible(tasks, speed):
+                assert rms_hyperbolic_feasible(tasks, speed)
+
+    def test_accepts_beyond_ll(self):
+        # above the LL bound but within hyperbolic
+        tasks = tasks_from_utils([0.5, 0.4])  # sum=0.9 > 0.828; prod=1.5*1.4=2.1>2 no
+        assert not rms_hyperbolic_feasible(tasks, 1.0)
+        # asymmetric pair: prod = 1.6 * 1.25 = 2.0 exactly, sum = 0.85 > 0.828
+        tasks = tasks_from_utils([0.6, 0.25])
+        assert rms_hyperbolic_feasible(tasks, 1.0)
+        assert not rms_liu_layland_feasible(tasks, 1.0)
+
+    def test_early_exit_on_large_products(self):
+        tasks = tasks_from_utils([5.0, 5.0, 5.0])
+        assert not rms_hyperbolic_feasible(tasks, 1.0)
+
+
+class TestRMSRTA:
+    def test_classic_feasible_trio(self):
+        # Liu & Layland's style example: U=0.725 < objectively schedulable
+        tasks = [Task(1, 4), Task(2, 8), Task(1.5, 12)]
+        assert rms_rta_feasible(tasks, 1.0)
+
+    def test_dominates_hyperbolic(self, rng):
+        for _ in range(150):
+            n = int(rng.integers(1, 6))
+            utils = rng.uniform(0.05, 0.6, size=n)
+            tasks = tasks_from_utils(utils)
+            if rms_hyperbolic_feasible(tasks, 1.0):
+                assert rms_rta_feasible(tasks, 1.0)
+
+    def test_harmonic_full_utilization(self):
+        # harmonic periods: RMS achieves U = 1.0, RTA must accept
+        tasks = [Task(2, 4), Task(2, 8), Task(2, 8)]  # U = .5+.25+.25
+        assert rms_rta_feasible(tasks, 1.0)
+        assert not rms_liu_layland_feasible(tasks, 1.0)
+
+    def test_infeasible_overload(self):
+        assert not rms_rta_feasible([Task(3, 4), Task(2, 5)], 1.0)
+
+
+class TestAdmissionStates:
+    @pytest.mark.parametrize("name", sorted(ADMISSION_TESTS))
+    def test_incremental_matches_oneshot(self, name, rng):
+        """admits()/add() must agree with the one-shot set test."""
+        test = admission_test(name)
+        for _ in range(60):
+            speed = float(rng.uniform(0.5, 3.0))
+            state = test.open(speed)
+            accepted: list[Task] = []
+            for _ in range(int(rng.integers(1, 8))):
+                t = Task.from_utilization(
+                    float(rng.uniform(0.05, 0.8)), float(rng.uniform(2, 50))
+                )
+                if state.admits(t):
+                    state.add(t)
+                    accepted.append(t)
+                    assert test.feasible(accepted, speed), (
+                        f"{name}: incremental accepted a set the one-shot "
+                        f"test rejects"
+                    )
+            assert state.count == len(accepted)
+            assert state.load == pytest.approx(
+                sum(t.utilization for t in accepted)
+            )
+
+    @pytest.mark.parametrize("name", sorted(ADMISSION_TESTS))
+    def test_admits_does_not_mutate(self, name):
+        test = admission_test(name)
+        state = test.open(1.0)
+        t = Task.from_utilization(0.3, 10)
+        state.admits(t)
+        assert state.count == 0
+        assert state.load == 0.0
+
+    def test_open_invalid_speed(self):
+        with pytest.raises(ValueError):
+            EDFUtilizationTest().open(0.0)
+
+    def test_registry_lookup(self):
+        assert isinstance(admission_test("edf"), EDFUtilizationTest)
+        assert isinstance(admission_test("rms-ll"), RMSLiuLaylandTest)
+        assert isinstance(admission_test("rms-hyperbolic"), RMSHyperbolicTest)
+        assert isinstance(admission_test("rms-rta"), RMSResponseTimeTest)
+        with pytest.raises(KeyError):
+            admission_test("nope")
+
+    def test_edf_state_boundary(self):
+        state = EDFUtilizationTest().open(1.0)
+        state.add(Task.from_utilization(0.5, 10))
+        assert state.admits(Task.from_utilization(0.5, 10))
+        assert not state.admits(Task.from_utilization(0.5001, 10))
+
+    def test_rms_ll_state_count_dependence(self):
+        state = RMSLiuLaylandTest().open(1.0)
+        # first task: bound is 1.0
+        assert state.admits(Task.from_utilization(0.99, 10))
+        state.add(Task.from_utilization(0.5, 10))
+        # second task: bound 2(sqrt2-1) ~ 0.828 -> 0.5 + 0.33 > bound
+        assert not state.admits(Task.from_utilization(0.33, 10))
+        assert state.admits(Task.from_utilization(0.32, 10))

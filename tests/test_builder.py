@@ -1,0 +1,150 @@
+"""Tests for instance builders and campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lp import lp_feasible
+from repro.core.model import TaskSet
+from repro.workloads.builder import (
+    generate_taskset,
+    lp_feasible_instance,
+    partitioned_feasible_instance,
+    taskset_from_utilizations,
+)
+from repro.workloads.campaigns import Campaign, utilization_grid
+from repro.workloads.platforms import geometric_platform
+
+
+class TestTasksetFromUtilizations:
+    def test_basic(self):
+        ts = taskset_from_utilizations([0.2, 0.5], [10.0, 4.0])
+        assert ts[0].wcet == pytest.approx(2.0)
+        assert ts[1].wcet == pytest.approx(2.0)
+        assert ts[0].name == "tau0"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            taskset_from_utilizations([0.2], [10.0, 4.0])
+
+
+class TestGenerateTaskset:
+    def test_uunifast_default(self, rng):
+        ts = generate_taskset(rng, 10, 2.5)
+        assert len(ts) == 10
+        assert ts.total_utilization == pytest.approx(2.5)
+
+    def test_u_max_respected(self, rng):
+        ts = generate_taskset(rng, 10, 4.0, u_max=0.7)
+        assert ts.max_utilization <= 0.7 + 1e-12
+
+    def test_randfixedsum_with_umin(self, rng):
+        ts = generate_taskset(
+            rng, 8, 3.0, method="randfixedsum", u_min=0.1, u_max=0.9
+        )
+        assert all(0.1 - 1e-9 <= t.utilization <= 0.9 + 1e-9 for t in ts)
+        assert ts.total_utilization == pytest.approx(3.0)
+
+    def test_umin_requires_randfixedsum(self, rng):
+        with pytest.raises(ValueError):
+            generate_taskset(rng, 5, 1.0, u_min=0.1)
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(ValueError):
+            generate_taskset(rng, 5, 1.0, method="magic")  # type: ignore[arg-type]
+
+    def test_integer_periods(self, rng):
+        ts = generate_taskset(rng, 10, 2.0, integer_periods=True, p_min=3, p_max=30)
+        assert all(t.period == round(t.period) for t in ts)
+
+
+class TestPartitionedFeasibleInstance:
+    def test_witness_fits_capacities(self, rng):
+        platform = geometric_platform(4, 6.0)
+        inst = partitioned_feasible_instance(
+            rng, platform, load=0.9, tasks_per_machine=4
+        )
+        loads = inst.witness_loads()
+        for j, machine in enumerate(platform):
+            assert loads[j] <= machine.speed * 0.9 * (1 + 1e-9)
+
+    def test_task_count(self, rng):
+        platform = geometric_platform(3, 2.0)
+        inst = partitioned_feasible_instance(rng, platform, tasks_per_machine=5)
+        assert len(inst.taskset) == 15
+        assert len(inst.witness) == 15
+
+    def test_shuffled_but_consistent(self, rng):
+        platform = geometric_platform(2, 4.0)
+        inst = partitioned_feasible_instance(
+            rng, platform, load=1.0, tasks_per_machine=3
+        )
+        # per-machine witness load equals the generated target load * s_j
+        loads = inst.witness_loads()
+        for j, machine in enumerate(platform):
+            assert loads[j] == pytest.approx(machine.speed, rel=1e-9)
+
+    def test_invalid_args(self, rng):
+        platform = geometric_platform(2, 2.0)
+        with pytest.raises(ValueError):
+            partitioned_feasible_instance(rng, platform, load=0.0)
+        with pytest.raises(ValueError):
+            partitioned_feasible_instance(rng, platform, load=1.2)
+        with pytest.raises(ValueError):
+            partitioned_feasible_instance(rng, platform, tasks_per_machine=0)
+
+    def test_integer_periods(self, rng):
+        platform = geometric_platform(2, 2.0)
+        inst = partitioned_feasible_instance(
+            rng, platform, integer_periods=True, p_min=4, p_max=16
+        )
+        assert all(t.period == round(t.period) for t in inst.taskset)
+
+
+class TestLPFeasibleInstance:
+    def test_certified_feasible(self, rng):
+        platform = geometric_platform(3, 4.0)
+        ts = lp_feasible_instance(rng, platform, 8, stress=0.9)
+        assert lp_feasible(ts, platform)
+        assert ts.total_utilization == pytest.approx(0.9 * platform.total_speed)
+
+    def test_invalid_stress(self, rng):
+        platform = geometric_platform(2, 2.0)
+        with pytest.raises(ValueError):
+            lp_feasible_instance(rng, platform, 5, stress=1.5)
+
+
+class TestCampaign:
+    def test_grid_points(self):
+        c = Campaign(name="t", grid={"a": [1, 2], "b": ["x"]}, replications=3)
+        assert len(c.points()) == 2
+        assert len(c) == 6
+
+    def test_trials_deterministic(self):
+        c = Campaign(name="t", grid={"a": [1, 2]}, replications=2)
+        seeds1 = [t.seed for t in c]
+        seeds2 = [t.seed for t in c]
+        assert seeds1 == seeds2
+        assert len(set(seeds1)) == len(seeds1)  # all distinct
+
+    def test_trial_rng_reproducible(self):
+        c = Campaign(name="t", grid={"a": [1]}, replications=1)
+        trial = next(iter(c))
+        assert trial.rng().random() == trial.rng().random()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Campaign(name="t", grid={}, replications=1)
+        with pytest.raises(ValueError):
+            Campaign(name="t", grid={"a": [1]}, replications=0)
+
+    def test_utilization_grid(self):
+        g = utilization_grid(0.1, 1.0, 10)
+        assert len(g) == 10
+        assert g[0] == pytest.approx(0.1)
+        assert g[-1] == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            utilization_grid(0.5, 0.4)
+        with pytest.raises(ValueError):
+            utilization_grid(steps=1)

@@ -1,0 +1,222 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["constants"],
+            ["generate", "x.json"],
+            ["experiment", "e01"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "e01" in out and "e13" in out
+
+    def test_constants(self, capsys):
+        assert main(["constants"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha=2.98" in out
+        assert "valid=True" in out
+
+    def test_generate_then_test_accept(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        assert main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "6",
+                "--machines",
+                "3",
+                "--stress",
+                "0.5",
+                "--seed",
+                "1",
+            ]
+        ) == 0
+        data = json.loads(inst.read_text())
+        assert len(data["taskset"]["tasks"]) == 6
+        code = main(["test", str(inst), "--scheduler", "edf"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ACCEPTED" in out
+
+    def test_test_reject(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "8",
+                "--machines",
+                "2",
+                "--stress",
+                "4.0",
+                "--seed",
+                "2",
+            ]
+        )
+        code = main(["test", str(inst)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REJECTED" in out
+        assert "w_n=" in out
+
+    def test_simulate(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "5",
+                "--machines",
+                "2",
+                "--stress",
+                "0.5",
+                "--seed",
+                "3",
+            ]
+        )
+        code = main(["simulate", str(inst), "--alpha", "2.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "deadline misses: 0" in out
+
+    def test_simulate_failed_partition(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "8",
+                "--machines",
+                "2",
+                "--stress",
+                "4.0",
+                "--seed",
+                "4",
+            ]
+        )
+        code = main(["simulate", str(inst), "--alpha", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "first-fit failed" in out
+
+    def test_experiment_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "e01.csv"
+        code = main(
+            ["experiment", "e01", "--scale", "quick", "--csv", str(csv_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem" in out
+        assert csv_path.exists()
+        assert "theorem" in csv_path.read_text()
+
+    def test_gantt(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "4",
+                "--machines",
+                "2",
+                "--stress",
+                "0.5",
+                "--seed",
+                "5",
+            ]
+        )
+        code = main(["gantt", str(inst), "--alpha", "2.0", "--horizon", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "machine 0" in out and "machine 1" in out
+        assert "#" in out
+
+    def test_gantt_failed_partition(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "8",
+                "--machines",
+                "2",
+                "--stress",
+                "4.0",
+                "--seed",
+                "6",
+            ]
+        )
+        assert main(["gantt", str(inst)]) == 1
+
+    def test_slack(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "5",
+                "--machines",
+                "2",
+                "--stress",
+                "0.4",
+                "--seed",
+                "7",
+            ]
+        )
+        code = main(["slack", str(inst)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "system scaling margin" in out
+        assert "per-task slack" in out
+
+    def test_slack_rejected_instance(self, tmp_path, capsys):
+        inst = tmp_path / "i.json"
+        main(
+            [
+                "generate",
+                str(inst),
+                "--tasks",
+                "8",
+                "--machines",
+                "2",
+                "--stress",
+                "4.0",
+                "--seed",
+                "8",
+            ]
+        )
+        assert main(["slack", str(inst)]) == 1
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,200 @@
+"""Tests for demand bound functions and the QPA exact EDF test."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import admission_test, edf_utilization_feasible
+from repro.core.dbf import (
+    EDFDemandBoundTest,
+    dbf,
+    dbf_taskset,
+    demand_bound_horizon,
+    demand_points,
+    edf_demand_feasible,
+    qpa_edf_feasible,
+)
+from repro.core.model import Platform, Task, TaskSet
+from repro.core.partition import first_fit_partition, verify_partition
+from repro.sim.uniprocessor import simulate_taskset_on_machine
+
+constrained_task = st.builds(
+    lambda c, p, frac: Task(
+        wcet=float(c),
+        period=float(p),
+        deadline=max(float(c), round(frac * p, 3)),
+    ),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=5, max_value=30),
+    st.floats(min_value=0.3, max_value=1.0),
+)
+
+
+class TestDBFValues:
+    def test_zero_before_deadline(self):
+        t = Task(2, 10, deadline=4)
+        assert dbf(t, 3.9) == 0.0
+
+    def test_one_job_at_deadline(self):
+        t = Task(2, 10, deadline=4)
+        assert dbf(t, 4.0) == 2.0
+        assert dbf(t, 13.9) == 2.0
+
+    def test_second_job_at_deadline_plus_period(self):
+        t = Task(2, 10, deadline=4)
+        assert dbf(t, 14.0) == 4.0
+        assert dbf(t, 24.0) == 6.0
+
+    def test_implicit_deadline_matches_utilization_rate(self):
+        t = Task(2, 10)
+        # dbf(k*p) = k*c exactly
+        for k in (1, 2, 7):
+            assert dbf(t, k * 10.0) == k * 2.0
+
+    def test_taskset_sum(self):
+        tasks = [Task(1, 4), Task(2, 10, deadline=5)]
+        # t=5: the period-4 task has one job due (deadline 4; next is 8),
+        # the constrained task has one job due (deadline 5)
+        assert dbf_taskset(tasks, 5.0) == pytest.approx(1 + 2)
+        # t=8 adds the period-4 task's second job
+        assert dbf_taskset(tasks, 8.0) == pytest.approx(2 + 2)
+
+    def test_monotone_in_t(self):
+        t = Task(3, 7, deadline=5)
+        values = [dbf(t, x / 2) for x in range(0, 100)]
+        assert values == sorted(values)
+
+
+class TestHorizonAndPoints:
+    def test_horizon_none_when_overloaded(self):
+        assert demand_bound_horizon([Task(6, 5)], 1.0) is None
+
+    def test_horizon_at_least_max_deadline(self):
+        tasks = [Task(1, 10, deadline=9), Task(1, 8)]
+        h = demand_bound_horizon(tasks, 1.0)
+        assert h is not None and h >= 9
+
+    def test_points_sorted_and_in_range(self):
+        tasks = [Task(1, 4, deadline=3), Task(1, 6)]
+        pts = demand_points(tasks, 20.0)
+        assert pts == sorted(pts)
+        assert all(0 < p <= 20.0 + 1e-9 for p in pts)
+        assert 3.0 in pts and 7.0 in pts and 6.0 in pts
+
+    def test_points_budget(self):
+        with pytest.raises(RuntimeError):
+            demand_points([Task(1, 1, deadline=0.5)], 1e7, max_points=100)
+
+
+class TestExactTests:
+    def test_empty(self):
+        assert qpa_edf_feasible([], 1.0)
+        assert edf_demand_feasible([], 1.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            qpa_edf_feasible([Task(1, 2)], 0.0)
+        with pytest.raises(ValueError):
+            edf_demand_feasible([Task(1, 2)], -1.0)
+
+    def test_constrained_stricter_than_implicit(self):
+        # U = 0.9 fits as implicit; squeezing the deadline breaks it
+        implicit = [Task(4.5, 10), Task(4.5, 10)]
+        assert qpa_edf_feasible(implicit, 1.0)
+        squeezed = [Task(4.5, 10, deadline=5), Task(4.5, 10, deadline=5)]
+        assert not qpa_edf_feasible(squeezed, 1.0)
+
+    def test_known_feasible_constrained(self):
+        tasks = [Task(1, 4, deadline=2), Task(2, 8, deadline=6)]
+        # dbf: t=2 ->1 <=2; t=6 ->1+1+2=... points 2,6,10: t=6: jobs of t1 due by 6: d+kp=2,6 ->2 jobs=2; t2: 1 job=2 -> 4 <= 6 ok
+        assert qpa_edf_feasible(tasks, 1.0)
+        assert edf_demand_feasible(tasks, 1.0)
+
+    @given(st.lists(constrained_task, min_size=1, max_size=5))
+    @settings(max_examples=150, deadline=None)
+    def test_qpa_equals_exhaustive(self, tasks):
+        for speed in (0.7, 1.0, 1.6):
+            assert qpa_edf_feasible(tasks, speed) == edf_demand_feasible(
+                tasks, speed
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.sampled_from([4, 6, 8, 10, 12]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_implicit_case_equals_utilization_test(self, spec):
+        """On the paper's model the DBF test must coincide with Thm II.2."""
+        tasks = [Task(float(c), float(p)) for c, p in spec]
+        for speed in (0.8, 1.0, 1.5):
+            assert qpa_edf_feasible(tasks, speed) == edf_utilization_feasible(
+                tasks, speed
+            )
+
+    @given(st.lists(constrained_task, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_verdict_matches_simulation(self, tasks):
+        """Exact test <=> no misses under synchronous periodic release.
+
+        (Synchronous release is the worst case for constrained-deadline
+        EDF too; we simulate to the hyperperiod.)
+        """
+        hp = math.lcm(*(int(t.period) for t in tasks))
+        if hp > 4000:
+            return
+        verdict = qpa_edf_feasible(tasks, 1.0)
+        trace = simulate_taskset_on_machine(tasks, 1.0, "edf", horizon=float(hp))
+        assert verdict == (not trace.any_miss)
+
+
+class TestDBFAdmission:
+    def test_registered_by_name(self):
+        assert isinstance(admission_test("edf-dbf"), EDFDemandBoundTest)
+
+    def test_partitions_constrained_sets(self):
+        ts = TaskSet(
+            [
+                Task(2, 10, deadline=3),
+                Task(4, 8, deadline=8),
+                Task(1, 4, deadline=2),
+                Task(3, 12, deadline=6),
+            ]
+        )
+        pf = Platform.from_speeds([1.0, 2.0])
+        r = first_fit_partition(ts, pf, "edf-dbf")
+        assert r.success
+        assert verify_partition(r, ts, pf)
+
+    def test_incremental_matches_oneshot(self, rng):
+        test = admission_test("edf-dbf")
+        for _ in range(25):
+            speed = float(rng.uniform(0.5, 2.0))
+            state = test.open(speed)
+            accepted = []
+            for _ in range(4):
+                p = float(rng.integers(5, 20))
+                c = float(rng.integers(1, 5))
+                d = float(rng.integers(max(1, int(c)), int(p) + 1))
+                t = Task(c, p, deadline=d)
+                if state.admits(t):
+                    state.add(t)
+                    accepted.append(t)
+                    assert test.feasible(accepted, speed)
+
+    def test_theorem_tests_reject_constrained_sets(self):
+        from repro.core.feasibility import edf_test_vs_partitioned
+
+        ts = TaskSet([Task(1, 10, deadline=5)])
+        with pytest.raises(ValueError, match="implicit"):
+            edf_test_vs_partitioned(ts, Platform.from_speeds([1.0]))

@@ -1,0 +1,156 @@
+"""Tests for the k-step approximate demand bound test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import admission_test
+from repro.core.dbf import dbf, qpa_edf_feasible
+from repro.core.dbf_approx import (
+    EDFApproxDemandTest,
+    approx_dbf,
+    edf_approx_demand_feasible,
+)
+from repro.core.model import Platform, Task, TaskSet
+from repro.core.partition import first_fit_partition, verify_partition
+
+constrained_task = st.builds(
+    lambda c, p, frac: Task(
+        wcet=float(c),
+        period=float(p),
+        deadline=max(float(c), round(frac * p, 3)),
+    ),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=5, max_value=30),
+    st.floats(min_value=0.3, max_value=1.0),
+)
+
+
+class TestApproxDBFFunction:
+    def test_exact_in_first_k_steps(self):
+        t = Task(2, 10, deadline=4)
+        for x in (3.9, 4.0, 13.9, 14.0, 23.9):
+            assert approx_dbf(t, x, k=3) == dbf(t, x)
+
+    def test_linear_beyond_k_steps(self):
+        t = Task(2, 10, deadline=4)
+        # linear region starts at d + (k-1)p = 24 for k=3
+        assert approx_dbf(t, 24.0, k=3) == pytest.approx(6.0)
+        assert approx_dbf(t, 29.0, k=3) == pytest.approx(6.0 + 5 * 0.2)
+
+    def test_equality_at_step_points_everywhere(self):
+        t = Task(3, 7, deadline=5)
+        for j in range(10):
+            point = 5 + 7 * j
+            assert approx_dbf(t, point, k=2) == pytest.approx(dbf(t, point))
+
+    @given(constrained_task, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_upper_bounds_exact_dbf(self, task, k):
+        for x in np.linspace(0, 8 * task.period, 60):
+            assert approx_dbf(task, float(x), k) >= dbf(task, float(x)) - 1e-9
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            approx_dbf(Task(1, 2), 1.0, k=0)
+
+
+class TestApproxFeasibility:
+    def test_empty_and_validation(self):
+        assert edf_approx_demand_feasible([], 1.0)
+        with pytest.raises(ValueError):
+            edf_approx_demand_feasible([Task(1, 2)], 0.0)
+
+    @given(
+        st.lists(constrained_task, min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_soundness_accept_implies_exact_feasible(self, tasks, k):
+        """dbf* >= dbf, so approximate acceptance is a feasibility proof."""
+        for speed in (0.8, 1.0, 1.5):
+            if edf_approx_demand_feasible(tasks, speed, k=k):
+                assert qpa_edf_feasible(tasks, speed)
+
+    @given(st.lists(constrained_task, min_size=1, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_k_and_convergent(self, tasks):
+        """Larger k only accepts more; at large k the verdict matches the
+        exact test on these small-period instances."""
+        verdicts = [
+            edf_approx_demand_feasible(tasks, 1.0, k=k) for k in (1, 2, 4, 8, 64)
+        ]
+        for a, b in zip(verdicts, verdicts[1:]):
+            if a:
+                assert b  # acceptance is monotone in k
+        assert verdicts[-1] == qpa_edf_feasible(tasks, 1.0)
+
+    def test_small_k_over_rejects_bursty_sets(self):
+        # feasible set (dbf exactly meets t at 2 and 4) that k=1's linear
+        # tail over-estimates (approx at t=4: 2.4 + 2 > 4) but k=3 accepts
+        tasks = [Task(2, 10, deadline=2), Task(2, 10, deadline=4)]
+        assert qpa_edf_feasible(tasks, 1.0)
+        assert not edf_approx_demand_feasible(tasks, 1.0, k=1)
+        assert edf_approx_demand_feasible(tasks, 1.0, k=3)
+
+    def test_augmentation_recovery(self, rng):
+        """[7]-style bound: a k-rejection disappears with (1+1/k) speed
+        whenever the exact test accepts."""
+        k = 3
+        for _ in range(200):
+            n = int(rng.integers(1, 5))
+            tasks = []
+            for _ in range(n):
+                p = float(rng.integers(5, 25))
+                c = float(rng.integers(1, 5))
+                d = float(rng.integers(max(1, int(c)), int(p) + 1))
+                tasks.append(Task(c, p, deadline=d))
+            if qpa_edf_feasible(tasks, 1.0) and not edf_approx_demand_feasible(
+                tasks, 1.0, k=k
+            ):
+                assert edf_approx_demand_feasible(tasks, 1.0 + 1.0 / k, k=k)
+
+
+class TestApproxAdmission:
+    def test_registered(self):
+        t = admission_test("edf-dbf-approx")
+        assert isinstance(t, EDFApproxDemandTest)
+        assert t.k == 4
+
+    def test_custom_k_name(self):
+        assert EDFApproxDemandTest(k=2).name == "edf-dbf-approx(k=2)"
+        with pytest.raises(ValueError):
+            EDFApproxDemandTest(k=0)
+
+    def test_partition_with_approx_admission(self):
+        ts = TaskSet(
+            [
+                Task(2, 10, deadline=4),
+                Task(3, 12, deadline=9),
+                Task(1, 4, deadline=3),
+            ]
+        )
+        pf = Platform.from_speeds([1.0, 1.0])
+        r = first_fit_partition(ts, pf, "edf-dbf-approx")
+        assert r.success
+        # the approximate admission's partitions are exactly feasible
+        assert verify_partition(r, ts, pf, test="edf-dbf")
+
+    def test_incremental_matches_oneshot(self, rng):
+        test = EDFApproxDemandTest(k=3)
+        for _ in range(20):
+            speed = float(rng.uniform(0.5, 2.0))
+            state = test.open(speed)
+            accepted = []
+            for _ in range(4):
+                p = float(rng.integers(5, 20))
+                c = float(rng.integers(1, 4))
+                d = float(rng.integers(max(1, int(c)), int(p) + 1))
+                task = Task(c, p, deadline=d)
+                if state.admits(task):
+                    state.add(task)
+                    accepted.append(task)
+                    assert test.feasible(accepted, speed)

@@ -1,0 +1,71 @@
+"""Reproducibility guarantees: same seed, same results — everywhere.
+
+EXPERIMENTS.md's numbers are only meaningful if runs are deterministic;
+these tests pin that for the generators, the experiments, and the
+simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import get_experiment
+from repro.sim.uniprocessor import simulate_taskset_on_machine
+from repro.workloads.builder import generate_taskset, partitioned_feasible_instance
+from repro.workloads.platforms import geometric_platform, random_platform
+
+
+class TestGeneratorDeterminism:
+    def test_taskset_generation(self):
+        a = generate_taskset(np.random.default_rng(11), 10, 2.0)
+        b = generate_taskset(np.random.default_rng(11), 10, 2.0)
+        assert a == b
+
+    def test_platform_generation(self):
+        a = random_platform(np.random.default_rng(3), 5)
+        b = random_platform(np.random.default_rng(3), 5)
+        assert a == b
+
+    def test_witnessed_instances(self):
+        platform = geometric_platform(3, 4.0)
+        a = partitioned_feasible_instance(np.random.default_rng(7), platform)
+        b = partitioned_feasible_instance(np.random.default_rng(7), platform)
+        assert a.taskset == b.taskset
+        assert a.witness == b.witness
+
+
+class TestExperimentDeterminism:
+    def test_e01_rows_identical(self):
+        a = get_experiment("e01")(seed=123, scale="quick")
+        b = get_experiment("e01")(seed=123, scale="quick")
+        assert a.rows == b.rows
+
+    def test_e04_rows_identical(self):
+        a = get_experiment("e04")(seed=123, scale="quick")
+        b = get_experiment("e04")(seed=123, scale="quick")
+        assert a.rows == b.rows
+
+    def test_seed_changes_results(self):
+        a = get_experiment("e04")(seed=1, scale="quick")
+        b = get_experiment("e04")(seed=2, scale="quick")
+        # the summaries derive from different instances; identical output
+        # would indicate a seeding bug (alpha* ties at exactly 1.0 are
+        # possible, so compare the full sample summaries)
+        assert a.rows != b.rows or a.extra_tables != b.extra_tables
+
+
+class TestSimulatorDeterminism:
+    def test_sporadic_trace_reproducible(self):
+        from repro.core.model import Task
+
+        tasks = [Task(1, 4), Task(2, 7)]
+        a = simulate_taskset_on_machine(
+            tasks, 1.0, "edf", release="sporadic",
+            rng=np.random.default_rng(5), horizon=200.0,
+        )
+        b = simulate_taskset_on_machine(
+            tasks, 1.0, "edf", release="sporadic",
+            rng=np.random.default_rng(5), horizon=200.0,
+        )
+        assert a.segments == b.segments
+        assert a.jobs == b.jobs

@@ -1,0 +1,155 @@
+"""Tests for the exact partitioned adversaries (branch-and-bound)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import (
+    exact_partitioned_edf_feasible,
+    exact_partitioned_feasible,
+    exact_partitioned_rms_feasible,
+)
+from repro.core.bounds import rms_rta_feasible
+from repro.core.model import Platform, Task, TaskSet
+from repro.core.partition import first_fit_partition
+
+
+def ts(*utils):
+    return TaskSet(Task.from_utilization(u, 10.0 + i) for i, u in enumerate(utils))
+
+
+class TestExactEDF:
+    def test_empty(self):
+        assert exact_partitioned_edf_feasible(TaskSet([]), Platform.from_speeds([1.0]))
+
+    def test_trivial_yes(self):
+        assert exact_partitioned_edf_feasible(ts(0.5), Platform.from_speeds([1.0]))
+
+    def test_trivial_no_capacity(self):
+        assert (
+            exact_partitioned_edf_feasible(ts(0.9, 0.9), Platform.from_speeds([1.0]))
+            is False
+        )
+
+    def test_no_single_machine_fits_biggest(self):
+        assert (
+            exact_partitioned_edf_feasible(ts(1.2), Platform.from_speeds([1.0, 1.0]))
+            is False
+        )
+
+    def test_requires_search_beyond_first_fit(self):
+        # 0.6, 0.6, 0.4, 0.4 on two unit machines: FFD pairs 0.6+0.4 twice.
+        # But 0.5,0.5,0.5,0.3,0.2 on [1,1]: FFD: .5+.5 ->m0, .5+.3+.2 -> m1. ok
+        # A case where first-fit fails but exact succeeds:
+        # machines [1, 1]; tasks .7, .5, .45, .35 -> FFD: .7->m0, .5->m1,
+        # .45->m1 (.95), .35 fails (m0 at .7+.35=1.05, m1 at 1.3).
+        # Exact: {.7, .3?} no... {.7,.35}? 1.05>1. Try tasks .7,.55,.45,.3:
+        # FFD: .7->m0; .55->m1; .45->m1(1.0); .3: m0=1.0 ✓. hmm succeeds.
+        # Use .6,.6,.5,.3 on [1,1]: FFD: .6->m0,.6->m1,.5 fails? m0 1.1,m1 1.1 -> fail
+        # exact: {.6,.3}=0.9, {.6,.5}=1.1 no; {.5,.3}=.8 & {.6,.6}=1.2 no -> infeasible. bad.
+        # Classic: .55,.55,.45,.45 on [1,1]: FFD: .55->m0, .55->m1, .45->m0(1.0), .45->m1(1.0) ok.
+        # Use three machines [1,1,1], tasks .5,.5,.5,.5,.4,.4,.2:
+        # FFD: .5.5->m0, .5.5->m1, .4.4.2->m2 = 1.0 OK. fine — construct direct:
+        taskset = ts(0.7, 0.5, 0.45, 0.35)
+        platform = Platform.from_speeds([1.0, 1.0])
+        ff = first_fit_partition(taskset, platform, "edf")
+        exact = exact_partitioned_edf_feasible(taskset, platform)
+        assert not ff.success
+        # exact: {0.7, 0.3?}, pairs: .7+.35=1.05 no; .7 alone + .5+.45=0.95:
+        # then .35 left over -> really infeasible? total = 2.0 = capacity:
+        # partitions: {.7,.35}|{.5,.45,.35?} -- only 4 tasks: {.7}{.5,.45,.35=1.3} no;
+        # {.7,.5=1.2} no. So infeasible; FF agreed for the right reason.
+        assert exact is False
+
+    def test_exact_beats_first_fit(self):
+        # first-fit-decreasing failure with a feasible partition:
+        # machines [1, 1]; tasks .46, .46, .3, .3, .24, .24
+        # FFD: .46,.46->m0 (.92); .3->m1... let me use a known FFD-failing set:
+        # sizes .44,.44,.28,.28,.28,.28 bins of 1.0 x2: FFD: .44+.44=.88+.28? 1.16 no
+        # -> m0: .44,.44; m1: .28,.28,.28 = .84; last .28 -> m0? 1.16 no, m1 1.12 no -> FAIL
+        # exact: {.44,.28,.28}=1.0 and {.44,.28,.28}=1.0 -> feasible!
+        taskset = ts(0.44, 0.44, 0.28, 0.28, 0.28, 0.28)
+        platform = Platform.from_speeds([1.0, 1.0])
+        assert not first_fit_partition(taskset, platform, "edf").success
+        assert exact_partitioned_edf_feasible(taskset, platform) is True
+
+    def test_heterogeneous_exact(self):
+        taskset = ts(1.5, 0.9, 0.5)
+        platform = Platform.from_speeds([1.0, 2.0])
+        # {1.5}|{0.9,0.5}? 1.4 > 1.0 no; {1.5,0.5}=2.0 on fast, {0.9} on slow ✓
+        assert exact_partitioned_edf_feasible(taskset, platform) is True
+
+    def test_node_limit_returns_none(self):
+        # a packable but search-heavy instance with a 1-node budget
+        taskset = ts(*([0.3] * 12))
+        platform = Platform.from_speeds([1.0, 1.0, 1.0, 0.9])
+        verdict = exact_partitioned_edf_feasible(taskset, platform, node_limit=1)
+        assert verdict in (None, True)  # True if found on the first path
+
+    @given(
+        st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=1, max_size=9),
+        st.lists(st.floats(min_value=0.3, max_value=2.0), min_size=1, max_size=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_first_fit_success_implies_exact_feasible(self, utils, speeds):
+        """FF at alpha=1 success is a constructive witness."""
+        taskset = TaskSet(Task.from_utilization(u, 10.0) for u in utils)
+        platform = Platform.from_speeds(speeds)
+        if first_fit_partition(taskset, platform, "edf").success:
+            assert exact_partitioned_edf_feasible(taskset, platform) is True
+
+
+class TestExactRMS:
+    def test_empty(self):
+        assert exact_partitioned_rms_feasible(TaskSet([]), Platform.from_speeds([1.0]))
+
+    def test_single_machine_equals_rta(self, rng):
+        platform = Platform.from_speeds([1.0])
+        for _ in range(30):
+            n = int(rng.integers(1, 5))
+            tasks = [
+                Task(float(rng.integers(1, 4)), float(rng.integers(4, 20)))
+                for _ in range(n)
+            ]
+            taskset = TaskSet(tasks)
+            expect = rms_rta_feasible(list(taskset), 1.0)
+            assert exact_partitioned_rms_feasible(taskset, platform) is expect
+
+    def test_rms_stricter_than_edf(self, rng):
+        """RMS-partitioned feasible => EDF-partitioned feasible."""
+        for _ in range(40):
+            n = int(rng.integers(2, 7))
+            utils = rng.uniform(0.1, 0.8, size=n)
+            taskset = TaskSet(
+                Task.from_utilization(float(u), float(rng.integers(4, 40)))
+                for u in utils
+            )
+            platform = Platform.from_speeds(rng.uniform(0.5, 1.5, size=2).tolist())
+            if exact_partitioned_rms_feasible(taskset, platform) is True:
+                assert exact_partitioned_edf_feasible(taskset, platform) is True
+
+    def test_harmonic_beats_ll(self):
+        # full-utilization harmonic set: RMS-RTA partition exists
+        taskset = TaskSet([Task(2, 4), Task(2, 8), Task(2, 8)])
+        platform = Platform.from_speeds([1.0])
+        assert exact_partitioned_rms_feasible(taskset, platform) is True
+
+
+class TestDispatch:
+    def test_dispatch_edf(self):
+        assert exact_partitioned_feasible(
+            ts(0.5), Platform.from_speeds([1.0]), admission="edf"
+        )
+
+    def test_dispatch_rms(self):
+        assert exact_partitioned_feasible(
+            ts(0.5), Platform.from_speeds([1.0]), admission="rms-rta"
+        )
+
+    def test_dispatch_unknown(self):
+        with pytest.raises(ValueError):
+            exact_partitioned_feasible(
+                ts(0.5), Platform.from_speeds([1.0]), admission="x"  # type: ignore[arg-type]
+            )

@@ -1,0 +1,98 @@
+"""Unit tests for the feasibility-test API (repro.core.feasibility)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.feasibility import (
+    edf_test_vs_any,
+    edf_test_vs_partitioned,
+    feasibility_test,
+    rms_test_vs_any,
+    rms_test_vs_partitioned,
+    theorem_alpha,
+)
+from repro.core.model import Platform, Task, TaskSet
+
+
+def ts(*utils):
+    return TaskSet(Task.from_utilization(u, 10.0) for u in utils)
+
+
+class TestTheoremAlpha:
+    def test_values(self):
+        assert theorem_alpha("edf", "partitioned") == 2.0
+        assert theorem_alpha("rms", "partitioned") == pytest.approx(1 + math.sqrt(2))
+        assert theorem_alpha("edf", "any") == 2.98
+        assert theorem_alpha("rms", "any") == 3.34
+
+    def test_unknown_combination(self):
+        with pytest.raises(ValueError):
+            theorem_alpha("edf", "bogus")  # type: ignore[arg-type]
+
+
+class TestFeasibilityTest:
+    def test_accept_report(self):
+        report = edf_test_vs_partitioned(ts(0.5, 0.4), Platform.from_speeds([1.0]))
+        assert report.accepted
+        assert report.theorem == "I.1"
+        assert report.alpha == 2.0
+        assert report.certificate is None
+        assert "schedulable" in report.guarantee
+        assert "2x faster" in report.guarantee
+
+    def test_reject_report_carries_certificate(self):
+        report = edf_test_vs_partitioned(
+            ts(0.9, 0.9, 0.9), Platform.from_speeds([1.0])
+        )
+        assert not report.accepted
+        assert report.certificate is not None
+        assert report.certificate.certifies
+        assert "no partitioned scheduler" in report.guarantee
+
+    def test_reject_vs_any_wording(self):
+        report = edf_test_vs_any(ts(5.0, 5.0), Platform.from_speeds([1.0]))
+        assert not report.accepted
+        assert "even migratory" in report.guarantee
+        assert report.theorem == "I.3"
+
+    def test_rms_variants(self):
+        platform = Platform.from_speeds([1.0, 2.0])
+        taskset = ts(0.3, 0.3)
+        assert rms_test_vs_partitioned(taskset, platform).theorem == "I.2"
+        assert rms_test_vs_any(taskset, platform).theorem == "I.4"
+
+    def test_alpha_override(self):
+        report = feasibility_test(
+            ts(1.5), Platform.from_speeds([1.0]), "edf", "partitioned", alpha=1.0
+        )
+        assert report.alpha == 1.0
+        assert not report.accepted
+
+    def test_alpha_override_invalid(self):
+        with pytest.raises(ValueError):
+            feasibility_test(
+                ts(0.5), Platform.from_speeds([1.0]), "edf", "partitioned", alpha=-1.0
+            )
+
+    def test_unknown_combination(self):
+        with pytest.raises(KeyError):
+            feasibility_test(
+                ts(0.5), Platform.from_speeds([1.0]), "edf", "weird"  # type: ignore[arg-type]
+            )
+
+    def test_partition_attached(self):
+        report = edf_test_vs_partitioned(ts(0.5), Platform.from_speeds([1.0]))
+        assert report.partition.success
+        assert report.partition.alpha == 2.0
+        assert report.partition.test_name == "edf"
+
+    def test_rms_uses_ll_admission(self):
+        report = rms_test_vs_partitioned(ts(0.5), Platform.from_speeds([1.0]))
+        assert report.partition.test_name == "rms-ll"
+
+    def test_empty_taskset_accepted(self):
+        report = edf_test_vs_partitioned(TaskSet([]), Platform.from_speeds([1.0]))
+        assert report.accepted

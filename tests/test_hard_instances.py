@@ -1,0 +1,70 @@
+"""Tests for the adversarial hard-instance search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.hard_instances import search_hard_instance
+from repro.analysis.ratio import min_alpha_first_fit
+from repro.baselines.exact import exact_partitioned_edf_feasible
+from repro.workloads.platforms import geometric_platform
+
+
+class TestSearchHardInstance:
+    def test_result_is_witnessed_feasible(self, rng):
+        platform = geometric_platform(3, 4.0)
+        hard = search_hard_instance(
+            rng, platform, "edf", iterations=20, restarts=2
+        )
+        # the witness certifies feasibility: per-machine loads fit speeds
+        loads = [0.0] * len(platform)
+        for i, j in enumerate(hard.witness):
+            loads[j] += hard.taskset[i].utilization
+        for j, load in enumerate(loads):
+            assert load <= platform[j].speed * (1 + 1e-9)
+        # and the exact adversary agrees
+        assert exact_partitioned_edf_feasible(hard.taskset, platform) is True
+
+    def test_alpha_is_reproducible(self, rng):
+        platform = geometric_platform(3, 4.0)
+        hard = search_hard_instance(
+            rng, platform, "edf", iterations=15, restarts=1
+        )
+        re_measured = min_alpha_first_fit(hard.taskset, platform, "edf").alpha
+        assert re_measured == pytest.approx(hard.alpha, abs=2e-3)
+
+    def test_respects_theorem_bound(self, rng):
+        platform = geometric_platform(3, 6.0)
+        for scheduler, bound in (("edf", 2.0), ("rms", 1 + np.sqrt(2))):
+            hard = search_hard_instance(
+                rng, platform, scheduler, iterations=25, restarts=2
+            )
+            assert hard.alpha <= bound + 2e-3, (
+                f"search found an instance above the Theorem bound for "
+                f"{scheduler} — that would falsify the paper"
+            )
+
+    def test_search_at_least_matches_its_own_restarts(self, rng):
+        platform = geometric_platform(3, 4.0)
+        hard = search_hard_instance(
+            rng, platform, "edf", iterations=10, restarts=3
+        )
+        assert len(hard.restart_bests) == 3
+        assert hard.alpha == pytest.approx(max(hard.restart_bests), abs=1e-9)
+
+    def test_finds_nontrivial_hardness(self, rng):
+        """With full machine fill, the search should find instances
+        needing strictly more than alpha = 1 (first-fit is not optimal)."""
+        platform = geometric_platform(4, 8.0)
+        hard = search_hard_instance(
+            rng, platform, "edf", iterations=60, restarts=3, load=1.0
+        )
+        assert hard.alpha > 1.0
+
+    def test_invalid_args(self, rng):
+        platform = geometric_platform(2, 2.0)
+        with pytest.raises(ValueError):
+            search_hard_instance(rng, platform, "edf", load=0.0)
+        with pytest.raises(ValueError):
+            search_hard_instance(rng, platform, "edf", iterations=0)

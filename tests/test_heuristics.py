@@ -1,0 +1,119 @@
+"""Tests for the strategy-cube ablation machinery and prior-work wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.andersson_tovar import (
+    andersson_tovar_edf_test,
+    andersson_tovar_rms_test,
+)
+from repro.baselines.heuristics import (
+    PAPER_STRATEGY,
+    Strategy,
+    all_strategies,
+    run_strategy,
+)
+from repro.core.lp import lp_feasible
+from repro.core.model import Platform, Task, TaskSet
+from repro.workloads.builder import generate_taskset
+from repro.workloads.platforms import geometric_platform
+
+
+def ts(*utils):
+    return TaskSet(Task.from_utilization(u, 10.0) for u in utils)
+
+
+class TestStrategyCube:
+    def test_cube_size(self):
+        cube = all_strategies()
+        assert len(cube) == 3 * 2 * 3
+        assert len(set(s.label for s in cube)) == len(cube)
+
+    def test_paper_strategy_first(self):
+        assert all_strategies()[0] == PAPER_STRATEGY
+        assert PAPER_STRATEGY.label == "util-desc/speed-asc/first"
+
+    def test_run_strategy_matches_partition(self):
+        taskset = ts(0.5, 0.3, 0.7)
+        platform = Platform.from_speeds([1.0, 2.0])
+        r = run_strategy(PAPER_STRATEGY, taskset, platform, "edf", alpha=1.0)
+        assert r.success
+        assert r.test_name == "edf"
+
+    def test_strategies_can_disagree(self, rng):
+        """There exist instances the paper's strategy places and a bad
+        strategy does not (the point of the ablation)."""
+        bad = Strategy(task_order="util-asc", machine_order="speed-desc", fit="first")
+        platform = geometric_platform(3, 6.0)
+        found = False
+        for _ in range(200):
+            taskset = generate_taskset(
+                rng, 10, 0.9 * platform.total_speed, u_max=platform.fastest_speed
+            )
+            good_ok = run_strategy(PAPER_STRATEGY, taskset, platform, "edf").success
+            bad_ok = run_strategy(bad, taskset, platform, "edf").success
+            if good_ok and not bad_ok:
+                found = True
+                break
+        assert found
+
+
+class TestAnderssonTovar:
+    def test_edf_alpha_is_three(self):
+        report = andersson_tovar_edf_test(ts(0.5), Platform.from_speeds([1.0]))
+        assert report.alpha == 3.0
+        assert report.accepted
+
+    def test_rms_alpha(self):
+        report = andersson_tovar_rms_test(ts(0.5), Platform.from_speeds([1.0]))
+        assert report.alpha == pytest.approx(3.4142, abs=1e-3)
+
+    def test_at_edf_rejection_implies_lp_infeasible(self, rng):
+        """[2]'s guarantee: rejection at alpha=3 certifies total
+        infeasibility — checkable against the LP."""
+        platform = geometric_platform(3, 4.0)
+        checked = 0
+        for _ in range(300):
+            stress = float(rng.uniform(2.5, 4.0))
+            taskset = generate_taskset(
+                rng,
+                8,
+                stress * platform.total_speed,
+                u_max=3.5 * platform.fastest_speed,
+            )
+            report = andersson_tovar_edf_test(taskset, platform)
+            if not report.accepted:
+                checked += 1
+                assert not lp_feasible(taskset, platform)
+            if checked >= 20:
+                break
+        assert checked >= 5
+
+    def test_ours_rejects_no_later_than_at(self, rng):
+        """Same algorithm, alpha 2 vs 3: anything AT rejects, ours rejects
+        too (lower augmentation admits weakly less)... not guaranteed by
+        packing anomalies in general — so assert only the theorem-safe
+        direction: AT rejection => LP infeasible => exact partitioned
+        infeasible => ours must also have failed *or* our acceptance is a
+        valid 2x partition (both legitimate)."""
+        platform = geometric_platform(3, 4.0)
+        from repro.core.feasibility import edf_test_vs_partitioned
+
+        for _ in range(100):
+            stress = float(rng.uniform(2.5, 3.5))
+            taskset = generate_taskset(
+                rng,
+                8,
+                stress * platform.total_speed,
+                u_max=3.0 * platform.fastest_speed,
+            )
+            at = andersson_tovar_edf_test(taskset, platform)
+            if at.accepted:
+                continue
+            ours = edf_test_vs_partitioned(taskset, platform)
+            if ours.accepted:
+                # legal only if the 2x partition is genuinely valid
+                from repro.core.partition import verify_partition
+
+                assert verify_partition(ours.partition, taskset, platform)

@@ -1,0 +1,119 @@
+"""Tests for serialization and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Machine, Platform, Task, TaskSet
+from repro.core.partition import first_fit_partition
+from repro.io_.serialize import (
+    load_json,
+    partition_result_to_dict,
+    platform_from_dict,
+    platform_to_dict,
+    save_json,
+    task_from_dict,
+    task_to_dict,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from repro.io_.tables import format_table, rows_to_csv, write_csv
+
+
+class TestSerialization:
+    def test_task_roundtrip(self):
+        t = Task(wcet=2.5, period=10.0, name="x")
+        assert task_from_dict(task_to_dict(t)) == t
+
+    def test_taskset_roundtrip(self, small_taskset):
+        assert taskset_from_dict(taskset_to_dict(small_taskset)) == small_taskset
+
+    def test_platform_roundtrip(self, hetero_platform):
+        assert platform_from_dict(platform_to_dict(hetero_platform)) == hetero_platform
+
+    def test_exact_float_roundtrip(self):
+        t = Task(wcet=1 / 3, period=0.1 + 0.2)
+        rt = task_from_dict(task_to_dict(t))
+        assert rt.wcet == t.wcet
+        assert rt.period == t.period
+
+    def test_json_file_roundtrip(self, tmp_path, small_taskset, hetero_platform):
+        path = tmp_path / "instance.json"
+        save_json(
+            path,
+            {
+                "taskset": taskset_to_dict(small_taskset),
+                "platform": platform_to_dict(hetero_platform),
+            },
+        )
+        data = load_json(path)
+        assert taskset_from_dict(data["taskset"]) == small_taskset
+        assert platform_from_dict(data["platform"]) == hetero_platform
+
+    def test_verdict_stability_after_roundtrip(
+        self, tmp_path, small_taskset, hetero_platform
+    ):
+        """A reloaded instance produces the identical partition."""
+        before = first_fit_partition(small_taskset, hetero_platform, "edf", alpha=2.0)
+        path = tmp_path / "i.json"
+        save_json(
+            path,
+            {
+                "taskset": taskset_to_dict(small_taskset),
+                "platform": platform_to_dict(hetero_platform),
+            },
+        )
+        data = load_json(path)
+        after = first_fit_partition(
+            taskset_from_dict(data["taskset"]),
+            platform_from_dict(data["platform"]),
+            "edf",
+            alpha=2.0,
+        )
+        assert before.assignment == after.assignment
+        assert before.loads == after.loads
+
+    def test_partition_result_export(self, small_taskset):
+        platform = Platform.from_speeds([1.0, 2.0])
+        r = first_fit_partition(small_taskset, platform, "edf", alpha=2.0)
+        d = partition_result_to_dict(r)
+        assert d["success"] == r.success
+        assert d["alpha"] == 2.0
+        assert d["test_name"] == "edf"
+        assert len(d["assignment"]) == len(small_taskset)
+
+
+class TestTables:
+    ROWS = [
+        {"name": "a", "value": 1.23456, "flag": True},
+        {"name": "bb", "value": 2.0, "flag": False},
+    ]
+
+    def test_format_table_alignment(self):
+        text = format_table(self.ROWS, title="T", precision=2)
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.23" in text and "yes" in text and "no" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([], title="T")
+
+    def test_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_csv_roundtrip_shape(self):
+        csv_text = rows_to_csv(self.ROWS)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value,flag"
+        assert len(lines) == 3
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(path, self.ROWS)
+        assert path.read_text().startswith("name,value,flag")

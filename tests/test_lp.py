@@ -1,0 +1,159 @@
+"""Unit and property tests for the §II feasibility LP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp import (
+    LP_TOL,
+    check_lp_solution,
+    lp_feasible,
+    lp_solve,
+    lp_stress,
+    verify_lemma_ii1,
+)
+from repro.core.model import Platform, Task, TaskSet
+
+
+def ts(*utils):
+    return TaskSet(Task.from_utilization(u, 10.0) for u in utils)
+
+
+class TestLPFeasible:
+    def test_trivially_feasible(self):
+        assert lp_feasible(ts(0.2, 0.3), Platform.from_speeds([1.0]))
+
+    def test_exactly_at_capacity(self):
+        assert lp_feasible(ts(0.5, 0.5), Platform.from_speeds([1.0]))
+
+    def test_over_total_capacity(self):
+        assert not lp_feasible(ts(0.8, 0.8), Platform.from_speeds([1.0, 0.5]))
+
+    def test_task_bigger_than_fastest_machine(self):
+        # constraint (2): a single task cannot exceed the fastest speed
+        assert not lp_feasible(ts(1.2), Platform.from_speeds([1.0, 1.0]))
+
+    def test_big_task_ok_on_fast_machine(self):
+        assert lp_feasible(ts(1.8), Platform.from_speeds([0.5, 2.0]))
+
+    def test_migration_beats_partitioning(self):
+        # three tasks of 2/3 on two unit machines: partitioned infeasible
+        # (two tasks would share a machine), LP feasible (split utilization)
+        taskset = ts(2 / 3, 2 / 3, 2 / 3)
+        platform = Platform.from_speeds([1.0, 1.0])
+        assert lp_feasible(taskset, platform)
+
+    def test_empty_taskset(self):
+        assert lp_feasible(TaskSet([]), Platform.from_speeds([1.0]))
+
+
+class TestLPStress:
+    def test_stress_of_empty(self):
+        assert lp_stress(TaskSet([]), Platform.from_speeds([1.0])) == 0.0
+
+    def test_stress_single_machine(self):
+        # single machine: stress is exactly total utilization / speed
+        assert lp_stress(ts(0.25, 0.25), Platform.from_speeds([1.0])) == pytest.approx(
+            0.5, abs=1e-6
+        )
+
+    def test_stress_scales_inversely_with_speed(self):
+        taskset = ts(0.5)
+        s1 = lp_stress(taskset, Platform.from_speeds([1.0]))
+        s2 = lp_stress(taskset, Platform.from_speeds([2.0]))
+        assert s1 == pytest.approx(2 * s2, rel=1e-6)
+
+    def test_stress_above_one_iff_infeasible(self, rng):
+        for _ in range(25):
+            n = int(rng.integers(1, 8))
+            utils = rng.uniform(0.1, 1.2, size=n)
+            taskset = ts(*utils)
+            platform = Platform.from_speeds(rng.uniform(0.4, 2.0, size=3).tolist())
+            feas = lp_feasible(taskset, platform)
+            stress = lp_stress(taskset, platform)
+            assert feas == (stress <= 1.0 + LP_TOL)
+
+    def test_single_big_task_stress(self):
+        # one task of 1.5 on speeds [1, 2]: best is all on the fast machine
+        assert lp_stress(ts(1.5), Platform.from_speeds([1.0, 2.0])) == pytest.approx(
+            0.75, abs=1e-6
+        )
+
+
+class TestLPSolution:
+    def test_solution_satisfies_constraints(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 9))
+            taskset = ts(*rng.uniform(0.05, 0.8, size=n))
+            platform = Platform.from_speeds(rng.uniform(0.5, 2.0, size=4).tolist())
+            sol = lp_solve(taskset, platform)
+            if sol.feasible:
+                assert check_lp_solution(sol.u, taskset, platform)
+
+    def test_check_rejects_bad_shapes(self):
+        taskset, platform = ts(0.5), Platform.from_speeds([1.0])
+        assert not check_lp_solution(np.zeros((2, 2)), taskset, platform)
+
+    def test_check_rejects_negative(self):
+        taskset, platform = ts(0.5), Platform.from_speeds([1.0, 1.0])
+        u = np.array([[1.0, -0.5]])
+        assert not check_lp_solution(u, taskset, platform)
+
+    def test_check_rejects_underserved_task(self):
+        taskset, platform = ts(0.5), Platform.from_speeds([1.0])
+        u = np.array([[0.3]])
+        assert not check_lp_solution(u, taskset, platform)
+
+    def test_check_rejects_overloaded_machine(self):
+        taskset, platform = ts(0.8, 0.8), Platform.from_speeds([1.0, 1.0])
+        u = np.array([[0.8, 0.0], [0.8, 0.0]])  # machine 0 at 1.6
+        assert not check_lp_solution(u, taskset, platform)
+
+    def test_check_rejects_self_parallelism(self):
+        # task of 1.5 split across two speed-1 machines: sum u/s = 1.5 > 1
+        taskset, platform = ts(1.5), Platform.from_speeds([1.0, 1.0])
+        u = np.array([[0.75, 0.75]])
+        assert not check_lp_solution(u, taskset, platform)
+
+
+class TestLemmaII1:
+    def test_holds_on_solver_output(self, rng):
+        """Lemma II.1 is a theorem about every feasible LP solution — it
+        must hold on whatever HiGHS returns, for arbitrary alpha > 1."""
+        for _ in range(20):
+            n = int(rng.integers(1, 8))
+            taskset = ts(*rng.uniform(0.05, 0.9, size=n))
+            platform = Platform.from_speeds(rng.uniform(0.3, 2.5, size=4).tolist())
+            sol = lp_solve(taskset, platform)
+            if not sol.feasible:
+                continue
+            for alpha in (1.5, 2.0, 2.98, 3.34):
+                assert verify_lemma_ii1(sol.u, taskset, platform, alpha), (
+                    f"Lemma II.1 violated at alpha={alpha}"
+                )
+
+    def test_requires_alpha_above_one(self):
+        taskset, platform = ts(0.5), Platform.from_speeds([1.0])
+        sol = lp_solve(taskset, platform)
+        with pytest.raises(ValueError):
+            verify_lemma_ii1(sol.u, taskset, platform, 1.0)
+
+    def test_detects_violation(self):
+        # A fake 'solution' parking a large task entirely on a machine
+        # that is too slow for it even augmented: with alpha=2 and
+        # w=0.9 >= 2*0.2, the suffix over the fast machine must carry at
+        # least w*(1-1/alpha) = 0.45, but carries 0.
+        taskset = ts(0.9)
+        platform = Platform.from_speeds([0.2, 1.0])
+        u = np.array([[0.9, 0.0]])
+        assert not verify_lemma_ii1(u, taskset, platform, 2.0)
+
+    def test_trivial_case_k0_reduces_to_constraint_one(self):
+        # any feasible u satisfies the k=0 case since alpha/(alpha-1) > 1
+        taskset = ts(0.5)
+        platform = Platform.from_speeds([1.0])
+        u = np.array([[0.5]])
+        assert verify_lemma_ii1(u, taskset, platform, 2.0)

@@ -1,0 +1,77 @@
+"""Tests for the event-queue primitive and hyperperiod helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.model import Task
+from repro.sim.engine import EventQueue
+from repro.sim.hyperperiod import default_horizon, hyperperiod
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q: EventQueue[str] = EventQueue()
+        q.push(3.0, "c")
+        q.push(1.0, "a")
+        q.push(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_on_ties(self):
+        q: EventQueue[str] = EventQueue()
+        for name in "abc":
+            q.push(1.0, name)
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_peek_time(self):
+        q: EventQueue[int] = EventQueue()
+        assert math.isinf(q.peek_time())
+        q.push(5.0, 1)
+        assert q.peek_time() == 5.0
+        assert len(q) == 1
+
+    def test_bool_and_len(self):
+        q: EventQueue[int] = EventQueue()
+        assert not q
+        q.push(1.0, 0)
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+
+class TestHyperperiod:
+    def test_integer_periods(self):
+        assert hyperperiod([4, 6, 10]) == 60.0
+
+    def test_single(self):
+        assert hyperperiod([7]) == 7.0
+
+    def test_non_integer_returns_none(self):
+        assert hyperperiod([4.5, 6]) is None
+
+    def test_float_that_is_integer_ok(self):
+        assert hyperperiod([4.0, 8.0]) == 8.0
+
+    def test_cap(self):
+        assert hyperperiod([9973, 9967, 9949], cap=10_000) is None
+
+    def test_empty(self):
+        assert hyperperiod([]) is None
+
+    def test_nonpositive_returns_none(self):
+        assert hyperperiod([0]) is None
+
+
+class TestDefaultHorizon:
+    def test_uses_hyperperiod(self):
+        tasks = [Task(1, 4), Task(1, 6)]
+        assert default_horizon(tasks) == 12.0
+
+    def test_falls_back_to_factor(self):
+        tasks = [Task(1, 4.5), Task(1, 6.1)]
+        assert default_horizon(tasks, factor=10.0) == pytest.approx(61.0)
+
+    def test_empty(self):
+        assert default_horizon([]) == 0.0

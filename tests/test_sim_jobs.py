@@ -1,0 +1,83 @@
+"""Tests for job sources and policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import Task
+from repro.sim.jobs import PeriodicSource, SporadicSource
+from repro.sim.policies import EDFPolicy, RMSPolicy, policy_by_name
+
+
+class TestPeriodicSource:
+    def test_release_times(self):
+        src = PeriodicSource(Task(1, 5), 0)
+        jobs = [src.pop() for _ in range(4)]
+        assert [j.release for j in jobs] == [0.0, 5.0, 10.0, 15.0]
+        assert [j.job_id for j in jobs] == [0, 1, 2, 3]
+
+    def test_offset(self):
+        src = PeriodicSource(Task(1, 5), 0, offset=2.0)
+        assert src.pop().release == 2.0
+        assert src.peek() == 7.0
+
+    def test_deadline_and_work(self):
+        src = PeriodicSource(Task(3, 8), 2)
+        job = src.pop()
+        assert job.task_index == 2
+        assert job.deadline == 8.0
+        assert job.work == 3.0
+        assert job.remaining == 3.0
+        assert not job.completed
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicSource(Task(1, 5), 0, offset=-1.0)
+
+
+class TestSporadicSource:
+    def test_gaps_at_least_period(self):
+        rng = np.random.default_rng(3)
+        src = SporadicSource(Task(1, 5), 0, rng, jitter=0.5)
+        releases = [src.pop().release for _ in range(50)]
+        gaps = np.diff(releases)
+        assert (gaps >= 5.0 - 1e-12).all()
+        assert gaps.max() > 5.0  # jitter actually adds something
+
+    def test_zero_jitter_is_periodic(self):
+        rng = np.random.default_rng(3)
+        src = SporadicSource(Task(1, 5), 0, rng, jitter=0.0)
+        releases = [src.pop().release for _ in range(5)]
+        assert releases == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError):
+            SporadicSource(Task(1, 5), 0, np.random.default_rng(0), jitter=-1.0)
+
+
+class TestPolicies:
+    def test_edf_orders_by_deadline(self):
+        tasks = [Task(1, 10), Task(1, 5)]
+        p = EDFPolicy()
+        src0 = PeriodicSource(tasks[0], 0)
+        src1 = PeriodicSource(tasks[1], 1)
+        j0, j1 = src0.pop(), src1.pop()
+        assert p.key(j1, tasks) < p.key(j0, tasks)  # deadline 5 < 10
+
+    def test_rms_static_priority(self):
+        tasks = [Task(1, 10), Task(1, 5)]
+        p = RMSPolicy()
+        # a later job of the short-period task still beats the long one
+        src0 = PeriodicSource(tasks[0], 0)
+        src1 = PeriodicSource(tasks[1], 1)
+        j0 = src0.pop()
+        src1.pop()
+        j1_second = src1.pop()  # release 5, deadline 10 == j0's deadline
+        assert p.key(j1_second, tasks) < p.key(j0, tasks)
+
+    def test_lookup(self):
+        assert policy_by_name("edf").name == "edf"
+        assert policy_by_name("rms").name == "rms"
+        with pytest.raises(KeyError):
+            policy_by_name("fifo")

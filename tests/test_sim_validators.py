@@ -1,0 +1,150 @@
+"""The validators must catch corrupted traces (negative tests)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.model import Task
+from repro.sim.trace import JobRecord, Segment, Trace
+from repro.sim.uniprocessor import simulate_taskset_on_machine
+from repro.sim.validators import (
+    validate_all,
+    validate_policy_compliance,
+    validate_trace,
+)
+
+TASKS = [Task(2, 6), Task(2, 8)]
+
+
+@pytest.fixture
+def clean_trace():
+    return simulate_taskset_on_machine(TASKS, 1.0, "edf", horizon=24)
+
+
+def _replace_segments(trace: Trace, segments) -> Trace:
+    return dataclasses.replace(trace, segments=tuple(segments))
+
+
+def _replace_jobs(trace: Trace, jobs) -> Trace:
+    return dataclasses.replace(trace, jobs=tuple(jobs))
+
+
+class TestValidateTrace:
+    def test_clean_trace_passes(self, clean_trace):
+        assert validate_trace(clean_trace, TASKS) == []
+        assert validate_policy_compliance(clean_trace, TASKS) == []
+
+    def test_detects_overlapping_segments(self, clean_trace):
+        segs = list(clean_trace.segments)
+        bad = Segment(
+            start=segs[0].start,
+            end=segs[0].end + 0.5,
+            task_index=segs[0].task_index,
+            job_id=segs[0].job_id,
+        )
+        corrupted = _replace_segments(clean_trace, [bad] + segs[1:])
+        assert any("overlap" in e for e in validate_trace(corrupted, TASKS))
+
+    def test_detects_execution_before_release(self, clean_trace):
+        jobs = [
+            dataclasses.replace(j, release=j.release + 1.0)
+            if j.job_id == 0 and j.task_index == 0
+            else j
+            for j in clean_trace.jobs
+        ]
+        corrupted = _replace_jobs(clean_trace, jobs)
+        errors = validate_trace(corrupted, TASKS)
+        assert any("before release" in e for e in errors)
+
+    def test_detects_wrong_executed_amount(self, clean_trace):
+        # shrink one segment: completed job no longer accounts for its work
+        segs = list(clean_trace.segments)
+        segs[0] = Segment(
+            start=segs[0].start,
+            end=segs[0].end - 0.5,
+            task_index=segs[0].task_index,
+            job_id=segs[0].job_id,
+        )
+        corrupted = _replace_segments(clean_trace, segs)
+        errors = validate_trace(corrupted, TASKS)
+        assert errors  # either work mismatch or completion mismatch
+
+    def test_detects_inconsistent_miss_flag(self, clean_trace):
+        jobs = [
+            dataclasses.replace(j, missed=True) for j in clean_trace.jobs
+        ]
+        corrupted = _replace_jobs(clean_trace, jobs)
+        errors = validate_trace(corrupted, TASKS)
+        assert any("missed flag" in e for e in errors)
+
+    def test_detects_phantom_segment(self, clean_trace):
+        phantom = Segment(start=20.0, end=21.0, task_index=9, job_id=0)
+        corrupted = _replace_segments(
+            clean_trace, list(clean_trace.segments) + [phantom]
+        )
+        errors = validate_trace(corrupted, TASKS)
+        assert any("no job record" in e for e in errors)
+
+
+class TestPolicyCompliance:
+    def test_detects_priority_inversion(self):
+        # hand-built trace: the long-deadline job runs while a
+        # short-deadline job is ready
+        tasks = [Task(2, 10), Task(2, 4)]
+        segments = (
+            Segment(start=0.0, end=2.0, task_index=0, job_id=0),  # wrong: t1 ready
+            Segment(start=2.0, end=4.0, task_index=1, job_id=0),
+        )
+        jobs = (
+            JobRecord(0, 0, 0.0, 10.0, 2.0, 2.0, False),
+            JobRecord(1, 0, 0.0, 4.0, 2.0, 4.0, False),
+        )
+        trace = Trace(
+            machine_speed=1.0,
+            horizon=10.0,
+            policy_name="edf",
+            segments=segments,
+            jobs=jobs,
+        )
+        errors = validate_policy_compliance(trace, tasks)
+        assert any("higher-priority" in e for e in errors)
+
+    def test_detects_non_work_conserving_idle(self):
+        tasks = [Task(2, 10)]
+        segments = (Segment(start=3.0, end=5.0, task_index=0, job_id=0),)
+        jobs = (JobRecord(0, 0, 0.0, 10.0, 2.0, 5.0, False),)
+        trace = Trace(
+            machine_speed=1.0,
+            horizon=10.0,
+            policy_name="edf",
+            segments=segments,
+            jobs=jobs,
+        )
+        errors = validate_policy_compliance(trace, tasks)
+        assert any("idle gap" in e for e in errors)
+
+    def test_detects_missed_preemption(self):
+        # job released mid-segment with higher priority, not preempted
+        tasks = [Task(4, 20), Task(1, 3)]
+        segments = (
+            Segment(start=0.0, end=4.0, task_index=0, job_id=0),
+            Segment(start=4.0, end=5.0, task_index=1, job_id=0),
+        )
+        jobs = (
+            JobRecord(0, 0, 0.0, 20.0, 4.0, 4.0, False),
+            JobRecord(1, 0, 1.0, 4.0, 1.0, 5.0, True),
+        )
+        trace = Trace(
+            machine_speed=1.0,
+            horizon=20.0,
+            policy_name="edf",
+            segments=segments,
+            jobs=jobs,
+        )
+        errors = validate_policy_compliance(trace, tasks)
+        assert any("did not preempt" in e for e in errors)
+
+    def test_validate_all_aggregates(self, clean_trace):
+        assert validate_all(clean_trace, TASKS) == []
