@@ -3,8 +3,8 @@
 from repro.experiments import get_experiment
 
 
-def test_e02_accept_edf(run_once, record_result):
-    result = run_once(get_experiment("e02"), scale="quick")
+def test_e02_accept_edf(run_once, record_result, jobs):
+    result = run_once(get_experiment("e02"), scale="quick", jobs=jobs)
     record_result(result)
     # shape: the theorem band (alpha=2) dominates the exact adversary,
     # which dominates the alpha=1 test, at every utilization point

@@ -3,8 +3,8 @@
 from repro.experiments import get_experiment
 
 
-def test_e03_accept_rms(run_once, record_result):
-    result = run_once(get_experiment("e03"), scale="quick")
+def test_e03_accept_rms(run_once, record_result, jobs):
+    result = run_once(get_experiment("e03"), scale="quick", jobs=jobs)
     record_result(result)
     # the sufficiency ladder LL <= hyperbolic <= RTA holds pointwise
     for row in result.rows:

@@ -3,8 +3,8 @@
 from repro.experiments import get_experiment
 
 
-def test_e04_speedup_edf(run_once, record_result):
-    result = run_once(get_experiment("e04"), scale="quick")
+def test_e04_speedup_edf(run_once, record_result, jobs):
+    result = run_once(get_experiment("e04"), scale="quick", jobs=jobs)
     record_result(result)
     for row in result.rows:
         assert row["bound respected"], (

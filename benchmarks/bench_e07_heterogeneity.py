@@ -3,8 +3,8 @@
 from repro.experiments import get_experiment
 
 
-def test_e07_heterogeneity(run_once, record_result):
-    result = run_once(get_experiment("e07"), scale="quick")
+def test_e07_heterogeneity(run_once, record_result, jobs):
+    result = run_once(get_experiment("e07"), scale="quick", jobs=jobs)
     record_result(result)
     for row in result.rows:
         # Theorem I.1's bound holds at every speed spread

@@ -3,8 +3,8 @@
 from repro.experiments import get_experiment
 
 
-def test_e09_edf_vs_rms(run_once, record_result):
-    result = run_once(get_experiment("e09"), scale="quick")
+def test_e09_edf_vs_rms(run_once, record_result, jobs):
+    result = run_once(get_experiment("e09"), scale="quick", jobs=jobs)
     record_result(result)
     for row in result.rows:
         assert row["FF-EDF accept"] >= row["FF-RMS-LL accept"] - 1e-9

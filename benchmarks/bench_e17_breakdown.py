@@ -3,8 +3,8 @@
 from repro.experiments import get_experiment
 
 
-def test_e17_breakdown(run_once, record_result):
-    result = run_once(get_experiment("e17"), scale="quick")
+def test_e17_breakdown(run_once, record_result, jobs):
+    result = run_once(get_experiment("e17"), scale="quick", jobs=jobs)
     record_result(result)
     means = {row["test"]: row["mean breakdown U/S"] for row in result.rows}
     # the sufficiency ladder shows up as ordered breakdown capacity

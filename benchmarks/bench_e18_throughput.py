@@ -1,0 +1,80 @@
+"""Bench E18: campaign runner throughput, jobs=1 vs jobs=N.
+
+Runs the same acceptance campaign serially and on a process pool,
+checks the outputs are bit-identical, and archives the measured
+throughput (trials/s, wall vs CPU time, worker utilization) under
+``results/e18.txt`` / ``.csv``.  The parallel worker count comes from the
+``--jobs`` benchmark option (all cores when left at the default of 1).
+
+E18 is a harness artifact, not a paper experiment, so it is *not* in the
+E1–E17 registry; it builds its ExperimentResult directly.
+"""
+
+import os
+
+from repro.analysis.acceptance import acceptance_sweep, ff_tester
+from repro.experiments.base import ExperimentResult
+from repro.runner import resolve_jobs, telemetry
+from repro.workloads.platforms import geometric_platform
+
+SEED = 20160516  # the paper's conference date; any fixed value works
+POINTS = (0.80, 0.90, 1.0)
+SAMPLES = 40
+
+
+def _measure(jobs):
+    platform = geometric_platform(4, 8.0)
+    with telemetry() as tele:
+        curve = acceptance_sweep(
+            SEED,
+            platform,
+            {"FF-EDF(a=1)": ff_tester("edf", 1.0), "FF-EDF(a=2)": ff_tester("edf", 2.0)},
+            n_tasks=16,
+            normalized_utilizations=POINTS,
+            samples=SAMPLES,
+            jobs=jobs,
+            name="e18/throughput",
+        )
+    (stats,) = tele.runs
+    return curve, stats
+
+
+def test_e18_throughput(run_once, record_result, jobs):
+    # At least two workers so the pool path (and its determinism) is
+    # actually exercised even on a single-core host.
+    parallel_jobs = max(2, resolve_jobs(0) if jobs in (0, 1) else jobs)
+
+    serial_curve, serial = _measure(1)
+    parallel_curve, parallel = run_once(_measure, parallel_jobs)
+
+    # Determinism: fan-out must not change a single rate.
+    assert parallel_curve.rates == serial_curve.rates
+    assert parallel.trials == serial.trials == len(POINTS) * SAMPLES
+
+    rows = [serial.as_row(), parallel.as_row()]
+    ratio = (
+        parallel.trials_per_second / serial.trials_per_second
+        if serial.trials_per_second > 0
+        else 0.0
+    )
+    for row, r in zip(rows, (1.0, ratio)):
+        row["throughput vs jobs=1"] = r
+    record_result(
+        ExperimentResult(
+            experiment_id="e18",
+            title="Campaign runner throughput: jobs=1 vs jobs=N",
+            rows=rows,
+            notes=(
+                f"Host: {os.cpu_count()} core(s). Same campaign "
+                f"({len(POINTS)} points x {SAMPLES} samples x 2 testers) run "
+                "serially and on the process pool; outputs verified "
+                "bit-identical before timing is reported. Throughput gains "
+                "require multiple physical cores — on a single-core host the "
+                "pool can only add IPC overhead."
+            ),
+        )
+    )
+
+    # On a genuinely multi-core host the pool must realize parallelism.
+    if (os.cpu_count() or 1) >= 4 and parallel.jobs >= 4:
+        assert ratio >= 2.0, f"expected >=2x throughput at jobs={parallel.jobs}, got {ratio:.2f}x"

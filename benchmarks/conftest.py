@@ -18,6 +18,25 @@ from repro.io_.tables import write_csv
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for campaign-based benchmarks "
+            "(0: all cores; 1: serial in-process). Archived tables are "
+            "identical for every value; only the timings change."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request: pytest.FixtureRequest) -> int:
+    return request.config.getoption("--jobs")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -6,10 +6,18 @@ schedulability-curve methodology standard in this literature.  Testers
 are plain predicates ``(taskset, platform) -> bool`` so the same sweep
 machinery serves first-fit variants, the LP oracle, exact adversaries and
 the PTAS alike (:func:`ff_tester` etc. build the common ones).
+
+Each (utilization point, sample) pair is one :class:`Trial` of a
+:class:`~repro.workloads.campaigns.Campaign` with its own derived seed,
+executed through :func:`repro.runner.run_trials` — so the sweep
+parallelizes across trials with results bit-identical to ``jobs=1``.
+The built-in testers are picklable objects (not closures) so they cross
+the pool boundary; custom testers must be picklable too when ``jobs > 1``.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -22,10 +30,15 @@ from ..baselines.exact import (
 from ..core.lp import lp_feasible
 from ..core.model import Platform, TaskSet
 from ..core.partition import first_fit_partition
+from ..runner import run_trials
 from ..workloads.builder import generate_taskset
+from ..workloads.campaigns import Campaign, Trial, campaign_seed
 
 __all__ = [
     "Tester",
+    "FirstFitTester",
+    "ExactEDFTester",
+    "ExactRMSTester",
     "ff_tester",
     "lp_tester",
     "exact_edf_tester",
@@ -37,13 +50,49 @@ __all__ = [
 Tester = Callable[[TaskSet, Platform], bool]
 
 
-def ff_tester(test: str, alpha: float = 1.0) -> Tester:
+@dataclass(frozen=True)
+class FirstFitTester:
     """First-fit acceptance predicate for an admission test and alpha."""
 
-    def run(taskset: TaskSet, platform: Platform) -> bool:
-        return first_fit_partition(taskset, platform, test, alpha=alpha).success
+    test: str
+    alpha: float = 1.0
 
-    return run
+    def __call__(self, taskset: TaskSet, platform: Platform) -> bool:
+        return first_fit_partition(
+            taskset, platform, self.test, alpha=self.alpha
+        ).success
+
+
+@dataclass(frozen=True)
+class ExactEDFTester:
+    """Exact partitioned-EDF adversary; undecided (budget) counts as
+    accepted, keeping the curve an upper bound as intended."""
+
+    node_limit: int = 500_000
+
+    def __call__(self, taskset: TaskSet, platform: Platform) -> bool:
+        verdict = exact_partitioned_edf_feasible(
+            taskset, platform, node_limit=self.node_limit
+        )
+        return verdict is not False
+
+
+@dataclass(frozen=True)
+class ExactRMSTester:
+    """Exact partitioned-RMS (RTA) adversary; undecided counts as accepted."""
+
+    node_limit: int = 100_000
+
+    def __call__(self, taskset: TaskSet, platform: Platform) -> bool:
+        verdict = exact_partitioned_rms_feasible(
+            taskset, platform, node_limit=self.node_limit
+        )
+        return verdict is not False
+
+
+def ff_tester(test: str, alpha: float = 1.0) -> Tester:
+    """First-fit acceptance predicate for an admission test and alpha."""
+    return FirstFitTester(test, alpha)
 
 
 def lp_tester() -> Tester:
@@ -52,28 +101,13 @@ def lp_tester() -> Tester:
 
 
 def exact_edf_tester(node_limit: int = 500_000) -> Tester:
-    """Exact partitioned-EDF adversary; undecided (budget) counts as
-    accepted, keeping the curve an upper bound as intended."""
-
-    def run(taskset: TaskSet, platform: Platform) -> bool:
-        verdict = exact_partitioned_edf_feasible(
-            taskset, platform, node_limit=node_limit
-        )
-        return verdict is not False
-
-    return run
+    """Exact partitioned-EDF adversary tester (see :class:`ExactEDFTester`)."""
+    return ExactEDFTester(node_limit)
 
 
 def exact_rms_tester(node_limit: int = 100_000) -> Tester:
-    """Exact partitioned-RMS (RTA) adversary; undecided counts as accepted."""
-
-    def run(taskset: TaskSet, platform: Platform) -> bool:
-        verdict = exact_partitioned_rms_feasible(
-            taskset, platform, node_limit=node_limit
-        )
-        return verdict is not False
-
-    return run
+    """Exact partitioned-RMS adversary tester (see :class:`ExactRMSTester`)."""
+    return ExactRMSTester(node_limit)
 
 
 @dataclass(frozen=True)
@@ -97,8 +131,27 @@ class AcceptanceCurve:
         return rows
 
 
+def _acceptance_trial(
+    trial: Trial,
+    *,
+    platform: Platform,
+    testers: dict[str, Tester],
+    n_tasks: int,
+    cap: float,
+) -> dict[str, bool]:
+    """One sweep sample: draw a task set at the trial's utilization point
+    and evaluate every tester on it.  Pure in (trial.seed, trial.params)."""
+    rng = trial.rng()
+    total = trial.params["U/S"] * platform.total_speed
+    taskset = generate_taskset(rng, n_tasks, total, u_max=min(cap, total))
+    return {
+        name: bool(tester(taskset, platform))
+        for name, tester in testers.items()
+    }
+
+
 def acceptance_sweep(
-    rng: np.random.Generator,
+    seed: int | np.random.Generator,
     platform: Platform,
     testers: Mapping[str, Tester],
     *,
@@ -108,6 +161,9 @@ def acceptance_sweep(
     ),
     samples: int = 50,
     u_max_fraction: float = 1.0,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+    name: str = "acceptance",
 ) -> AcceptanceCurve:
     """Measure acceptance rates on UUniFast task sets.
 
@@ -115,26 +171,43 @@ def acceptance_sweep(
     total_speed`` with per-task utilization capped at ``u_max_fraction *
     fastest_speed`` (tasks larger than the fastest machine are hopeless
     for every tester and would only flatten all curves equally).
+
+    ``seed`` may be an integer (the reproducible way) or a Generator (one
+    root seed is drawn from it).  Every (point, sample) pair becomes one
+    independently seeded trial fanned out over ``jobs`` workers; the
+    resulting curve is bit-identical for every ``jobs`` value.  ``name``
+    labels the campaign and is folded into the trial seeds.
     """
     if samples < 1:
         raise ValueError("samples must be positive")
     cap = u_max_fraction * platform.fastest_speed
+    xs = tuple(float(x) for x in normalized_utilizations)
+    campaign = Campaign(
+        name=name,
+        grid={"U/S": xs},
+        replications=samples,
+        base_seed=campaign_seed(seed),
+    )
+    fn = functools.partial(
+        _acceptance_trial,
+        platform=platform,
+        testers=dict(testers),
+        n_tasks=n_tasks,
+        cap=cap,
+    )
+    run = run_trials(fn, campaign, jobs=jobs, chunk_size=chunk_size, label=name)
     names = list(testers)
-    counts = {name: [0] * len(normalized_utilizations) for name in names}
-    for k, x in enumerate(normalized_utilizations):
-        total = x * platform.total_speed
+    counts = {nm: [0] * len(xs) for nm in names}
+    records = iter(run.records)
+    for k in range(len(xs)):
         for _ in range(samples):
-            taskset = generate_taskset(
-                rng, n_tasks, total, u_max=min(cap, total)
-            )
-            for name in names:
-                if testers[name](taskset, platform):
-                    counts[name][k] += 1
-    rates = {
-        name: tuple(c / samples for c in counts[name]) for name in names
-    }
+            record = next(records)
+            for nm in names:
+                if record[nm]:
+                    counts[nm][k] += 1
+    rates = {nm: tuple(c / samples for c in counts[nm]) for nm in names}
     return AcceptanceCurve(
-        normalized_utilizations=tuple(float(x) for x in normalized_utilizations),
+        normalized_utilizations=xs,
         rates=rates,
         samples=samples,
         n_tasks=n_tasks,

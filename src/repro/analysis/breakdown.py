@@ -7,17 +7,25 @@ classic metric, lifted to the partitioned heterogeneous setting).  Where
 acceptance-ratio curves (E2/E3) sample fixed utilization points,
 breakdown distributions characterize the whole transition in one number
 per instance — the metric experiment E17 reports.
+
+Each instance shape is one campaign trial: the shape is drawn from the
+trial's own RNG and *every* tester is scaled on that same shape inside
+the trial, so distributions stay directly comparable while the trials fan
+out over :func:`repro.runner.run_trials` workers deterministically.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
 from ..core.model import Platform
+from ..runner import run_trials
 from ..workloads.builder import generate_taskset
+from ..workloads.campaigns import Campaign, Trial, campaign_seed
 from .acceptance import Tester
 from .sensitivity import system_scaling_margin
 from .stats import Summary, summarize
@@ -37,8 +45,41 @@ class BreakdownStudy:
         return summarize(list(self.samples[tester]))
 
 
+def _breakdown_trial(
+    trial: Trial,
+    *,
+    platform: Platform,
+    testers: dict[str, Tester],
+    n_tasks: int,
+    base_fraction: float,
+    tol: float,
+) -> dict[str, float]:
+    """One shared instance shape, scaled to each tester's acceptance edge."""
+    rng = trial.rng()
+    shape = generate_taskset(
+        rng,
+        n_tasks,
+        base_fraction * platform.total_speed,
+        u_max=base_fraction * platform.fastest_speed,
+    )
+    out: dict[str, float] = {}
+    for name, tester in testers.items():
+        try:
+            factor = system_scaling_margin(
+                shape,
+                lambda ts, t=tester: t(ts, platform),
+                tol=tol,
+            )
+        except ValueError:
+            # the tester rejects even the base shape: breakdown below base
+            out[name] = 0.0
+            continue
+        out[name] = factor * base_fraction
+    return out
+
+
 def breakdown_utilizations(
-    rng: np.random.Generator,
+    seed: int | np.random.Generator,
     platform: Platform,
     testers: Mapping[str, Tester],
     *,
@@ -46,6 +87,9 @@ def breakdown_utilizations(
     samples: int = 50,
     base_fraction: float = 0.3,
     tol: float = 1e-3,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+    name: str = "breakdown",
 ) -> BreakdownStudy:
     """Measure breakdown utilization distributions.
 
@@ -54,32 +98,34 @@ def breakdown_utilizations(
     scales it up per tester until rejection; the breakdown value is the
     normalized utilization at the acceptance edge.  All testers see the
     same shapes, so their distributions are directly comparable.
+
+    ``seed`` may be an integer root seed or a Generator (one root seed is
+    drawn from it); trials fan out over ``jobs`` workers with results
+    bit-identical to the serial path.
     """
     if not 0 < base_fraction < 1:
         raise ValueError("base_fraction must be in (0, 1)")
     if samples < 1:
         raise ValueError("samples must be positive")
-    capacity = platform.total_speed
-    out: dict[str, list[float]] = {name: [] for name in testers}
-    for _ in range(samples):
-        shape = generate_taskset(
-            rng,
-            n_tasks,
-            base_fraction * capacity,
-            u_max=base_fraction * platform.fastest_speed,
-        )
-        for name, tester in testers.items():
-            try:
-                factor = system_scaling_margin(
-                    shape,
-                    lambda ts, t=tester: t(ts, platform),
-                    tol=tol,
-                )
-            except ValueError:
-                # the tester rejects even the base shape: breakdown below base
-                out[name].append(0.0)
-                continue
-            out[name].append(factor * base_fraction)
+    campaign = Campaign(
+        name=name,
+        grid={"base_fraction": (float(base_fraction),)},
+        replications=samples,
+        base_seed=campaign_seed(seed),
+    )
+    fn = functools.partial(
+        _breakdown_trial,
+        platform=platform,
+        testers=dict(testers),
+        n_tasks=n_tasks,
+        base_fraction=base_fraction,
+        tol=tol,
+    )
+    run = run_trials(fn, campaign, jobs=jobs, chunk_size=chunk_size, label=name)
+    out: dict[str, list[float]] = {nm: [] for nm in testers}
+    for record in run.records:
+        for nm in testers:
+            out[nm].append(record[nm])
     return BreakdownStudy(
         samples={k: tuple(v) for k, v in out.items()},
         platform=platform,

@@ -7,10 +7,15 @@ at which the §III first-fit test accepts each.  The theorems bound these
 measurements: 2 (EDF/partitioned), 1+sqrt2 (RMS/partitioned), 2.98
 (EDF/any), 3.34 (RMS/any).  The gap between the measured distribution
 and the bound quantifies the analyses' pessimism.
+
+Each sample is one independently seeded campaign trial dispatched through
+:func:`repro.runner.run_trials`, so studies parallelize across instances
+with results bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Literal
 
@@ -23,10 +28,12 @@ from ..core.constants import (
     ALPHA_RMS_PARTITIONED,
 )
 from ..core.model import Platform
+from ..runner import run_trials
 from ..workloads.builder import (
     lp_feasible_instance,
     partitioned_feasible_instance,
 )
+from ..workloads.campaigns import Campaign, Trial, campaign_seed
 from .ratio import min_alpha_first_fit
 from .stats import Summary, summarize
 
@@ -67,8 +74,32 @@ class SpeedupStudy:
         return self.max_observed / self.bound
 
 
+def _speedup_trial(
+    trial: Trial,
+    *,
+    platform: Platform,
+    adversary: str,
+    test: str,
+    load: float,
+    tasks_per_machine: int,
+    n_tasks: int,
+    tol: float,
+) -> float:
+    """One study sample: draw a certified-feasible instance from the
+    trial's RNG and search its minimum successful augmentation."""
+    rng = trial.rng()
+    if adversary == "partitioned":
+        inst = partitioned_feasible_instance(
+            rng, platform, load=load, tasks_per_machine=tasks_per_machine
+        )
+        taskset = inst.taskset
+    else:
+        taskset = lp_feasible_instance(rng, platform, n_tasks, stress=load)
+    return float(min_alpha_first_fit(taskset, platform, test, tol=tol).alpha)
+
+
 def empirical_speedup_study(
-    rng: np.random.Generator,
+    seed: int | np.random.Generator,
     platform: Platform,
     *,
     scheduler: Literal["edf", "rms"] = "edf",
@@ -78,42 +109,58 @@ def empirical_speedup_study(
     tasks_per_machine: int = 4,
     n_tasks: int | None = None,
     tol: float = 1e-3,
+    jobs: int | None = 1,
+    chunk_size: int | None = None,
+    name: str | None = None,
 ) -> SpeedupStudy:
     """Run one speedup-factor study.
 
     Parameters
     ----------
+    seed:
+        Integer root seed (or a Generator to draw one from); every sample
+        gets its own derived trial seed, so ``jobs=1`` and ``jobs=N``
+        produce identical alpha samples.
     load:
         Adversary stress: per-machine fill (partitioned) or LP stress
         (any).  Values near 1 are the hard instances the bounds address.
     n_tasks:
         Task count for LP-feasible instances (defaults to
         ``tasks_per_machine * m``).
+    jobs:
+        Worker processes for the trial fan-out (``None``/``0``: all cores).
+    name:
+        Campaign label folded into the trial seeds; defaults to
+        ``speedup/<scheduler>/<adversary>``.
     """
     key = (scheduler, adversary)
     if key not in _BOUNDS:
         raise ValueError(f"unknown combination {key}")
-    test = _TESTS[scheduler]
-    alphas: list[float] = []
-    for _ in range(samples):
-        if adversary == "partitioned":
-            inst = partitioned_feasible_instance(
-                rng, platform, load=load, tasks_per_machine=tasks_per_machine
-            )
-            taskset = inst.taskset
-        else:
-            taskset = lp_feasible_instance(
-                rng,
-                platform,
-                n_tasks or tasks_per_machine * len(platform),
-                stress=load,
-            )
-        result = min_alpha_first_fit(taskset, platform, test, tol=tol)
-        alphas.append(result.alpha)
+    if samples < 1:
+        raise ValueError("samples must be positive")
+    label = name or f"speedup/{scheduler}/{adversary}"
+    campaign = Campaign(
+        name=label,
+        grid={"scheduler": (scheduler,), "adversary": (adversary,)},
+        replications=samples,
+        base_seed=campaign_seed(seed),
+    )
+    fn = functools.partial(
+        _speedup_trial,
+        platform=platform,
+        adversary=adversary,
+        test=_TESTS[scheduler],
+        load=load,
+        tasks_per_machine=tasks_per_machine,
+        n_tasks=n_tasks or tasks_per_machine * len(platform),
+        tol=tol,
+    )
+    run = run_trials(fn, campaign, jobs=jobs, chunk_size=chunk_size, label=label)
+    alphas = tuple(run.records)
     return SpeedupStudy(
         scheduler=scheduler,
         adversary=adversary,
         bound=_BOUNDS[key],
-        alphas=tuple(alphas),
+        alphas=alphas,
         summary=summarize(alphas),
     )

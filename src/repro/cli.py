@@ -39,6 +39,13 @@ from .workloads.platforms import geometric_platform
 __all__ = ["main", "build_parser"]
 
 
+def _jobs_arg(value: str) -> int:
+    jobs = int(value)
+    if jobs < 0:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -80,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=["quick", "full"], default="full")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--csv", type=Path, default=None, help="also write rows as CSV")
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for campaign trials (0 or omitted: all cores; "
+            "1: serial in-process). Results are identical for every value."
+        ),
+    )
 
     p = sub.add_parser("constants", help="verify / re-optimize the proof constants")
     p.add_argument("--optimize", action="store_true")
@@ -186,11 +203,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
+    from .runner import telemetry
+
+    fn = get_experiment(args.id)
     kwargs = {"scale": args.scale}
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    result = get_experiment(args.id)(**kwargs)
+    accepts_jobs = "jobs" in inspect.signature(fn).parameters
+    if accepts_jobs:
+        # None (flag omitted) -> 0 -> resolve to all cores inside the runner.
+        kwargs["jobs"] = args.jobs if args.jobs is not None else 0
+    elif args.jobs not in (None, 1):
+        print(
+            f"note: {args.id} has no campaign fan-out; --jobs ignored",
+            file=sys.stderr,
+        )
+    with telemetry() as tele:
+        result = fn(**kwargs)
     print(result.render())
+    if accepts_jobs and tele.runs:
+        # Throughput report goes to stderr so stdout stays byte-identical
+        # across --jobs values (and clean for redirection into files).
+        print(tele.render(), file=sys.stderr)
     if args.csv is not None:
         write_csv(args.csv, result.rows)
         print(f"\nrows written to {args.csv}")

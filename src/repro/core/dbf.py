@@ -28,6 +28,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from .bounds import AdmissionTest, MachineState
 from .model import EPS, Task, leq
 
@@ -52,8 +54,19 @@ def dbf(task: Task, t: float) -> float:
 
 
 def dbf_taskset(tasks: Iterable[Task], t: float) -> float:
-    """Total demand bound of a task set at interval length ``t``."""
-    return math.fsum(dbf(task, t) for task in tasks)
+    """Total demand bound of a task set at interval length ``t``.
+
+    Routed through the per-taskset :class:`_DemandProfile` cache: repeat
+    queries on the same task set (the partitioner probes the same
+    candidate sets at many interval lengths) hit precomputed parameter
+    arrays instead of re-walking Task objects.  ``math.fsum`` is exactly
+    rounded, so the cached array walk returns bit-identical values to the
+    naive per-task sum.
+    """
+    tasks = tuple(tasks)
+    if not tasks:
+        return 0.0
+    return _profile(tasks).dbf(t)
 
 
 def _rational_hyperperiod(
@@ -80,6 +93,116 @@ def _rational_hyperperiod(
     return float(acc)
 
 
+class _DemandProfile:
+    """Memoized demand machinery for one task set.
+
+    The constrained-deadline first-fit loop (and the exact adversaries'
+    branch-and-bound) probe the *same* candidate task sets over and over
+    at different machine speeds; everything speed-independent (parameter
+    arrays, the hyperperiod) is computed once here, and the
+    speed-dependent horizon, step-point sets and QPA verdicts are
+    memoized per query.  All sums go through ``math.fsum`` (exactly
+    rounded, order-independent), so cached answers are bit-identical to
+    the uncached formulas they replace.
+    """
+
+    __slots__ = (
+        "tasks",
+        "deadlines",
+        "periods",
+        "wcets",
+        "d_min",
+        "d_max",
+        "total_u",
+        "slack_numerator",
+        "_hyperperiod",
+        "_hyperperiod_ready",
+        "_horizons",
+        "_points",
+        "_qpa",
+    )
+
+    def __init__(self, tasks: tuple[Task, ...]):
+        self.tasks = tasks
+        self.deadlines = np.array([t.deadline for t in tasks], dtype=float)
+        self.periods = np.array([t.period for t in tasks], dtype=float)
+        self.wcets = np.array([t.wcet for t in tasks], dtype=float)
+        self.d_min = min(t.deadline for t in tasks)
+        self.d_max = max(t.deadline for t in tasks)
+        self.total_u = math.fsum(t.utilization for t in tasks)
+        # B == 0 means every deadline >= its period (see horizon()).
+        self.slack_numerator = math.fsum(
+            max(0.0, t.period - t.deadline) * t.utilization for t in tasks
+        )
+        self._hyperperiod: float | None = None
+        self._hyperperiod_ready = False
+        self._horizons: dict[float, float | None] = {}
+        self._points: dict[tuple[float, int], list[float]] = {}
+        self._qpa: dict[float, bool] = {}
+
+    def dbf(self, t: float) -> float:
+        """Total demand bound at interval length ``t`` (array walk)."""
+        jobs = np.floor((t - self.deadlines) / self.periods + EPS) + 1.0
+        demand = np.where(t < self.deadlines - EPS, 0.0, jobs * self.wcets)
+        return math.fsum(demand)
+
+    def hyperperiod(self) -> float | None:
+        if not self._hyperperiod_ready:
+            self._hyperperiod = _rational_hyperperiod(
+                [t.period for t in self.tasks]
+            )
+            self._hyperperiod_ready = True
+        return self._hyperperiod
+
+    def horizon(self, speed: float) -> float | None:
+        """Memoized :func:`demand_bound_horizon` for this task set."""
+        if speed in self._horizons:
+            return self._horizons[speed]
+        result = self._horizon(speed)
+        self._horizons[speed] = result
+        return result
+
+    def _horizon(self, speed: float) -> float | None:
+        if self.total_u > speed * (1.0 + EPS):
+            return None
+        if self.slack_numerator <= EPS:
+            return self.d_max
+        slack = speed - self.total_u
+        la = self.slack_numerator / slack if slack > EPS * speed else math.inf
+        hp = self.hyperperiod()
+        hp_bound = hp if hp is not None else math.inf
+        bound = min(la, hp_bound)
+        if math.isinf(bound):
+            return None  # degenerate: conservative rejection (see docstring)
+        return max(self.d_max, bound)
+
+    def points(self, horizon: float, max_points: int) -> list[float]:
+        """Memoized sorted dbf step points in ``(0, horizon]``."""
+        key = (horizon, max_points)
+        if key not in self._points:
+            self._points[key] = demand_points(
+                self.tasks, horizon, max_points=max_points
+            )
+        return self._points[key]
+
+
+#: Bounded FIFO cache of demand profiles keyed by the task parameters
+#: (names excluded — they do not affect the mathematics).
+_PROFILES: dict[tuple, _DemandProfile] = {}
+_PROFILE_CACHE_MAX = 4096
+
+
+def _profile(tasks: Sequence[Task]) -> _DemandProfile:
+    key = tuple((t.wcet, t.period, t.deadline) for t in tasks)
+    prof = _PROFILES.get(key)
+    if prof is None:
+        if len(_PROFILES) >= _PROFILE_CACHE_MAX:
+            _PROFILES.pop(next(iter(_PROFILES)))
+        prof = _DemandProfile(tuple(tasks))
+        _PROFILES[key] = prof
+    return prof
+
+
 def demand_bound_horizon(tasks: Sequence[Task], speed: float) -> float | None:
     """A finite check horizon for the processor-demand criterion.
 
@@ -95,25 +218,13 @@ def demand_bound_horizon(tasks: Sequence[Task], speed: float) -> float | None:
     or, *conservatively*, in the degenerate case ``U == speed`` with
     constrained deadlines and an uncomputable hyperperiod (irrational or
     astronomically large periods): there the test errs on rejection.
+
+    Memoized per (task set, speed): repeated probes of the same candidate
+    set are answered from the profile cache.
     """
-    total_u = math.fsum(t.utilization for t in tasks)
-    if total_u > speed * (1.0 + EPS):
-        return None
-    d_max = max(t.deadline for t in tasks)
-    # B == 0 means every deadline >= its period: dbf(t) <= U t <= speed t.
-    b = math.fsum(
-        max(0.0, t.period - t.deadline) * t.utilization for t in tasks
-    )
-    if b <= EPS:
-        return d_max
-    slack = speed - total_u
-    la = b / slack if slack > EPS * speed else math.inf
-    hp = _rational_hyperperiod([t.period for t in tasks])
-    hp_bound = hp if hp is not None else math.inf
-    bound = min(la, hp_bound)
-    if math.isinf(bound):
-        return None  # degenerate: conservative rejection (see docstring)
-    return max(d_max, bound)
+    if not tasks:
+        raise ValueError("demand_bound_horizon needs a non-empty task set")
+    return _profile(tuple(tasks)).horizon(speed)
 
 
 def demand_points(
@@ -154,11 +265,12 @@ def edf_demand_feasible(
         raise ValueError("speed must be positive")
     if not tasks:
         return True
-    horizon = demand_bound_horizon(tasks, speed)
+    prof = _profile(tuple(tasks))
+    horizon = prof.horizon(speed)
     if horizon is None:
         return False
-    for t in demand_points(tasks, horizon, max_points=max_points):
-        if not leq(dbf_taskset(tasks, t), speed * t):
+    for t in prof.points(horizon, max_points):
+        if not leq(prof.dbf(t), speed * t):
             return False
     return True
 
@@ -176,22 +288,33 @@ def qpa_edf_feasible(tasks: Sequence[Task], speed: float = 1.0) -> bool:
         raise ValueError("speed must be positive")
     if not tasks:
         return True
-    horizon = demand_bound_horizon(tasks, speed)
+    prof = _profile(tuple(tasks))
+    cached = prof._qpa.get(speed)
+    if cached is not None:
+        return cached
+    verdict = _qpa_uncached(prof, speed)
+    prof._qpa[speed] = verdict
+    return verdict
+
+
+def _qpa_uncached(prof: _DemandProfile, speed: float) -> bool:
+    horizon = prof.horizon(speed)
     if horizon is None:
         return False
-    d_min = min(t.deadline for t in tasks)
+    d_min = prof.d_min
+    step_params = list(zip(prof.deadlines.tolist(), prof.periods.tolist()))
 
     def largest_deadline_below(x: float) -> float:
         best = 0.0
-        for task in tasks:
-            if task.deadline < x - EPS:
+        for deadline, period in step_params:
+            if deadline < x - EPS:
                 # largest step point d + k p strictly below x
-                k = math.floor((x - task.deadline) / task.period - EPS)
+                k = math.floor((x - deadline) / period - EPS)
                 k = max(0, k)
-                cand = task.deadline + k * task.period
+                cand = deadline + k * period
                 while cand >= x - EPS and k > 0:
                     k -= 1
-                    cand = task.deadline + k * task.period
+                    cand = deadline + k * period
                 if cand < x - EPS:
                     best = max(best, cand)
         return best
@@ -208,18 +331,18 @@ def qpa_edf_feasible(tasks: Sequence[Task], speed: float = 1.0) -> bool:
         return True
     guard = 0
     max_iter = 1_000_000
-    h = dbf_taskset(tasks, t) / speed
+    h = prof.dbf(t) / speed
     while leq(h, t) and h > d_min + EPS * max(1.0, d_min):
         guard += 1
         if guard > max_iter:  # pragma: no cover - convergence safety net
-            return edf_demand_feasible(tasks, speed)
+            return edf_demand_feasible(prof.tasks, speed)
         if h < t * (1.0 - EPS):
             t = h
         else:
             t = largest_deadline_below(t)
             if t <= 0:
                 return True
-        h = dbf_taskset(tasks, t) / speed
+        h = prof.dbf(t) / speed
     return leq(h, d_min)
 
 
@@ -252,7 +375,11 @@ class EDFDemandBoundTest(AdmissionTest):
 
     Plugs into :func:`repro.core.partition.partition` like any admission
     test; for implicit-deadline sets it agrees exactly with the paper's
-    utilization test (property-tested).  Pseudo-polynomial per probe.
+    utilization test (property-tested).  Pseudo-polynomial per probe, but
+    probes are memoized per (task set, speed) through the module's demand
+    profile cache, so the first-fit loop (and the exact adversaries'
+    branch-and-bound) stop recomputing identical step-point sets when
+    they re-probe the same candidate assignment.
     """
 
     name = "edf-dbf"

@@ -12,8 +12,6 @@ FF at alpha=1 is genuinely schedulable as-is.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.acceptance import (
     acceptance_sweep,
     exact_edf_tester,
@@ -27,12 +25,13 @@ GRID = (0.60, 0.70, 0.80, 0.85, 0.90, 0.925, 0.95, 0.975, 1.0)
 
 
 @register("e02", "EDF acceptance ratio vs normalized utilization (Fig. 1)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 40 if scale == "quick" else 400
     curve = acceptance_sweep(
-        rng,
+        seed,
         platform,
         {
             "FF-EDF(a=1)": ff_tester("edf", 1.0),
@@ -43,6 +42,8 @@ def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
         n_tasks=16,
         normalized_utilizations=GRID,
         samples=samples,
+        jobs=jobs,
+        name="e02/accept-edf",
     )
     return ExperimentResult(
         experiment_id="e02",

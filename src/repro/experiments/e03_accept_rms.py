@@ -11,8 +11,6 @@ sufficiency), all below the EDF curves of E2 at equal utilization.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.acceptance import (
     acceptance_sweep,
     exact_rms_tester,
@@ -25,12 +23,13 @@ GRID = (0.40, 0.50, 0.60, 0.65, 0.70, 0.75, 0.80, 0.90, 1.0)
 
 
 @register("e03", "RMS acceptance ratio vs normalized utilization (Fig. 2)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 30 if scale == "quick" else 300
     curve = acceptance_sweep(
-        rng,
+        seed,
         platform,
         {
             "FF-RMS-LL(a=1)": ff_tester("rms-ll", 1.0),
@@ -42,6 +41,8 @@ def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
         n_tasks=16,
         normalized_utilizations=GRID,
         samples=samples,
+        jobs=jobs,
+        name="e03/accept-rms",
     )
     return ExperimentResult(
         experiment_id="e03",

@@ -9,8 +9,6 @@ LP-adversary sample by 2.98.  The CDF table gives the distribution shape;
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.speedup import empirical_speedup_study
 from ..analysis.stats import empirical_cdf
 from ..workloads.platforms import geometric_platform
@@ -42,27 +40,32 @@ def _study_rows(studies) -> tuple[list[dict], list[dict]]:
 
 
 @register("e04", "Empirical speedup factor, EDF (Fig. 3)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 20 if scale == "quick" else 200
     studies = [
         empirical_speedup_study(
-            rng,
+            seed,
             platform,
             scheduler="edf",
             adversary="partitioned",
             samples=samples,
             load=0.99,
+            jobs=jobs,
+            name="e04/edf/partitioned",
         ),
         empirical_speedup_study(
-            rng,
+            seed,
             platform,
             scheduler="edf",
             adversary="any",
             samples=max(10, samples // 2),
             load=0.98,
             n_tasks=2 * len(platform),  # chunky: the LP's advantage regime
+            jobs=jobs,
+            name="e04/edf/any",
         ),
     ]
     rows, cdf_rows = _study_rows(studies)

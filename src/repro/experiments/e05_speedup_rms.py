@@ -8,8 +8,6 @@ RMS's Liu–Layland admission inflates alpha* relative to EDF by up to
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.speedup import empirical_speedup_study
 from ..workloads.platforms import geometric_platform
 from .base import DEFAULT_SEED, ExperimentResult, Scale, register
@@ -17,27 +15,32 @@ from .e04_speedup_edf import _study_rows
 
 
 @register("e05", "Empirical speedup factor, RMS (Fig. 4)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 20 if scale == "quick" else 200
     studies = [
         empirical_speedup_study(
-            rng,
+            seed,
             platform,
             scheduler="rms",
             adversary="partitioned",
             samples=samples,
             load=0.99,
+            jobs=jobs,
+            name="e05/rms/partitioned",
         ),
         empirical_speedup_study(
-            rng,
+            seed,
             platform,
             scheduler="rms",
             adversary="any",
             samples=max(10, samples // 2),
             load=0.98,
             n_tasks=2 * len(platform),
+            jobs=jobs,
+            name="e05/rms/any",
         ),
     ]
     rows, cdf_rows = _study_rows(studies)

@@ -12,8 +12,6 @@ under the Theorem I.1 bound of 2 throughout.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.acceptance import acceptance_sweep, ff_tester, lp_tester
 from ..analysis.speedup import empirical_speedup_study
 from ..workloads.platforms import geometric_platform, normalized
@@ -23,8 +21,9 @@ RATIOS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 
 @register("e07", "Heterogeneity sweep at constant capacity (Fig. 5)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     samples = 25 if scale == "quick" else 200
     m = 6
     n_tasks = 8  # chunky tasks: mean utilization ~ 0.7 of a machine
@@ -33,21 +32,25 @@ def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
     for ratio in RATIOS:
         platform = normalized(geometric_platform(m, ratio), float(m))
         curve = acceptance_sweep(
-            rng,
+            seed,
             platform,
             {"ff": ff_tester("edf", 1.0), "lp": lp_tester()},
             n_tasks=n_tasks,
             normalized_utilizations=(stress,),
             samples=samples,
+            jobs=jobs,
+            name=f"e07/accept/{ratio:g}",
         )
         study = empirical_speedup_study(
-            rng,
+            seed,
             platform,
             scheduler="edf",
             adversary="partitioned",
             samples=max(10, samples // 2),
             load=0.98,
             tasks_per_machine=2,
+            jobs=jobs,
+            name=f"e07/alpha/{ratio:g}",
         )
         rows.append(
             {

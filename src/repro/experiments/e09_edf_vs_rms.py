@@ -9,8 +9,6 @@ the widening gap, alongside the theoretical LL bound value.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.acceptance import acceptance_sweep, ff_tester
 from ..core.bounds import liu_layland_bound
 from ..workloads.platforms import identical_platform
@@ -20,8 +18,9 @@ TASKS_PER_MACHINE = (1, 2, 4, 8, 16)
 
 
 @register("e09", "EDF-vs-RMS acceptance gap vs tasks per machine (Fig. 6)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     m = 4
     platform = identical_platform(m)
     samples = 30 if scale == "quick" else 300
@@ -30,7 +29,7 @@ def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
     for k in TASKS_PER_MACHINE:
         n = k * m
         curve = acceptance_sweep(
-            rng,
+            seed,
             platform,
             {
                 "FF-EDF": ff_tester("edf", 1.0),
@@ -40,6 +39,8 @@ def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
             n_tasks=n,
             normalized_utilizations=(stress,),
             samples=samples,
+            jobs=jobs,
+            name=f"e09/gap/{k}",
         )
         rows.append(
             {

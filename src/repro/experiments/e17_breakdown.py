@@ -15,8 +15,6 @@ analytically.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..analysis.acceptance import exact_edf_tester, ff_tester
 from ..analysis.breakdown import breakdown_utilizations
 from ..workloads.platforms import geometric_platform
@@ -24,12 +22,13 @@ from .base import DEFAULT_SEED, ExperimentResult, Scale, register
 
 
 @register("e17", "Breakdown utilization distributions (Table 10)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 20 if scale == "quick" else 150
     study = breakdown_utilizations(
-        rng,
+        seed,
         platform,
         {
             "FF-EDF": ff_tester("edf"),
@@ -40,6 +39,8 @@ def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
         },
         n_tasks=16,
         samples=samples,
+        jobs=jobs,
+        name="e17/breakdown",
     )
     rows = []
     for name in study.samples:

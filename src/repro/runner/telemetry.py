@@ -1,0 +1,106 @@
+"""Throughput telemetry for campaign runs.
+
+The executor reports a :class:`~repro.runner.executor.RunStats` for every
+campaign it completes.  Callers that want those measurements without
+threading a collector through every analysis function open a
+:func:`telemetry` context; any run finishing inside it (same thread or
+task context) is recorded:
+
+    with telemetry() as tele:
+        result = get_experiment("e02")(scale="quick", jobs=4)
+    print(tele.render())
+
+The CLI prints this summary to *stderr* so stdout stays byte-identical
+across ``--jobs`` values.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from .executor import RunStats
+
+__all__ = ["Telemetry", "telemetry", "active_telemetry", "record_stats"]
+
+_ACTIVE: ContextVar["Telemetry | None"] = ContextVar(
+    "repro_runner_telemetry", default=None
+)
+
+
+class Telemetry:
+    """Accumulates the stats of every campaign run in a context."""
+
+    def __init__(self) -> None:
+        self.runs: list["RunStats"] = []
+
+    def add(self, stats: "RunStats") -> None:
+        self.runs.append(stats)
+
+    # -- Aggregates ---------------------------------------------------------
+    @property
+    def trials(self) -> int:
+        return sum(s.trials for s in self.runs)
+
+    @property
+    def wall_time(self) -> float:
+        return sum(s.wall_time for s in self.runs)
+
+    @property
+    def cpu_time(self) -> float:
+        return sum(s.cpu_time for s in self.runs)
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.trials / self.wall_time if self.wall_time > 0 else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """One aggregate row over every recorded run."""
+        jobs = max((s.jobs for s in self.runs), default=1)
+        return {
+            "campaigns": len(self.runs),
+            "trials": self.trials,
+            "jobs": jobs,
+            "wall s": self.wall_time,
+            "cpu s": self.cpu_time,
+            "trials/s": self.trials_per_second,
+            "speedup": self.cpu_time / self.wall_time if self.wall_time > 0 else 0.0,
+        }
+
+    def render(self) -> str:
+        """Human-readable per-run lines plus the aggregate."""
+        lines = ["runner telemetry:"]
+        for stats in self.runs:
+            lines.append("  " + stats.describe())
+        s = self.summary()
+        lines.append(
+            f"  total: {s['trials']} trials in {s['wall s']:.3f}s wall / "
+            f"{s['cpu s']:.3f}s cpu ({s['trials/s']:.1f} trials/s, "
+            f"speedup {s['speedup']:.2f}x)"
+        )
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def telemetry() -> Iterator[Telemetry]:
+    """Collect the stats of every campaign run inside the block."""
+    collector = Telemetry()
+    token = _ACTIVE.set(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE.reset(token)
+
+
+def active_telemetry() -> Telemetry | None:
+    """The collector of the innermost open :func:`telemetry` block."""
+    return _ACTIVE.get()
+
+
+def record_stats(stats: "RunStats") -> None:
+    """Report a finished run to the active collector (no-op without one)."""
+    collector = _ACTIVE.get()
+    if collector is not None:
+        collector.add(stats)

@@ -8,7 +8,7 @@ from .builder import (
     partitioned_feasible_instance,
     taskset_from_utilizations,
 )
-from .campaigns import Campaign, Trial, utilization_grid
+from .campaigns import Campaign, Trial, campaign_seed, utilization_grid
 from .periods import choice_periods, harmonic_periods, log_uniform_periods
 from .platforms import (
     big_little_platform,
@@ -29,6 +29,7 @@ __all__ = [
     "taskset_from_utilizations",
     "Campaign",
     "Trial",
+    "campaign_seed",
     "utilization_grid",
     "choice_periods",
     "harmonic_periods",

@@ -9,12 +9,13 @@ isolation from its coordinates alone.
 from __future__ import annotations
 
 import itertools
+import zlib
 from dataclasses import dataclass
 from typing import Any, Iterator, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["Trial", "Campaign", "utilization_grid"]
+__all__ = ["Trial", "Campaign", "campaign_seed", "utilization_grid"]
 
 
 @dataclass(frozen=True)
@@ -76,10 +77,33 @@ class Campaign:
 
     def _trial_seed(self, point_index: int, replication: int) -> int:
         # SeedSequence gives well-mixed independent streams per trial.
+        # The name is folded in through crc32, a *stable* digest: builtin
+        # hash() varies with PYTHONHASHSEED across interpreter processes,
+        # which would give every pool worker (and every rerun) different
+        # trial seeds.
+        name_digest = zlib.crc32(self.name.encode("utf-8"))
         ss = np.random.SeedSequence(
-            [self.base_seed, hash(self.name) & 0x7FFFFFFF, point_index, replication]
+            [self.base_seed, name_digest, point_index, replication]
         )
         return int(ss.generate_state(1)[0])
+
+
+def campaign_seed(seed: int | np.integer | np.random.Generator) -> int:
+    """Normalize a campaign root seed.
+
+    Accepts either an integer seed (used as-is, the reproducible way to
+    drive a sweep) or a ``numpy`` Generator for backwards compatibility
+    with rng-threading callers: one integer is drawn from it, so
+    successive sweeps sharing a generator get distinct-but-deterministic
+    campaigns.
+    """
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    raise TypeError(
+        f"seed must be an int or numpy Generator, got {type(seed).__name__}"
+    )
 
 
 def utilization_grid(

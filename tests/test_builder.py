@@ -13,7 +13,7 @@ from repro.workloads.builder import (
     partitioned_feasible_instance,
     taskset_from_utilizations,
 )
-from repro.workloads.campaigns import Campaign, utilization_grid
+from repro.workloads.campaigns import Campaign, campaign_seed, utilization_grid
 from repro.workloads.platforms import geometric_platform
 
 
@@ -138,6 +138,52 @@ class TestCampaign:
             Campaign(name="t", grid={}, replications=1)
         with pytest.raises(ValueError):
             Campaign(name="t", grid={"a": [1]}, replications=0)
+
+    def test_trial_seed_pinned(self):
+        """Regression: trial seeds derive from a *stable* name digest.
+
+        The values below were computed once and pinned; they must never
+        change across interpreter launches, platforms, or PYTHONHASHSEED
+        settings (the old ``hash(self.name)`` derivation broke all three).
+        """
+        c = Campaign(name="pinned", grid={"x": (0.5,)}, replications=2, base_seed=2016)
+        assert [t.seed for t in c] == [3826787813, 1786818490]
+        assert c._trial_seed(1, 3) == 3295661129
+
+    def test_trial_seed_hash_seed_independent(self):
+        """Seeds are identical under different PYTHONHASHSEED values."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        code = (
+            "import json, sys\n"
+            "from repro.workloads.campaigns import Campaign\n"
+            "c = Campaign(name='hs', grid={'x': (1, 2)}, replications=2)\n"
+            "json.dump([t.seed for t in c], sys.stdout)\n"
+        )
+        seeds = []
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            seeds.append(json.loads(out.stdout))
+        assert seeds[0] == seeds[1]
+
+    def test_campaign_seed_normalization(self):
+        assert campaign_seed(7) == 7
+        assert campaign_seed(np.int64(7)) == 7
+        g1, g2 = np.random.default_rng(3), np.random.default_rng(3)
+        assert campaign_seed(g1) == campaign_seed(g2)  # deterministic draw
+        with pytest.raises(TypeError):
+            campaign_seed("not a seed")
 
     def test_utilization_grid(self):
         g = utilization_grid(0.1, 1.0, 10)

@@ -58,6 +58,9 @@ PACKAGES = [
     "repro.analysis.sensitivity",
     "repro.analysis.breakdown",
     "repro.analysis.hard_instances",
+    "repro.runner",
+    "repro.runner.executor",
+    "repro.runner.telemetry",
     "repro.experiments",
     "repro.io_",
     "repro.io_.serialize",

@@ -1,0 +1,168 @@
+"""Tests for the parallel campaign runner (repro.runner).
+
+The contract under test: for any ``jobs``, ``run_trials`` produces
+records bit-identical to the serial path, reports honest throughput
+stats, and surfaces worker failures as :class:`TrialError` naming the
+failing trial's seed and params.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.acceptance import acceptance_sweep, ff_tester
+from repro.analysis.speedup import empirical_speedup_study
+from repro.runner import (
+    TrialError,
+    active_telemetry,
+    default_chunk_size,
+    resolve_jobs,
+    run_trials,
+    telemetry,
+)
+from repro.workloads.campaigns import Campaign
+from repro.workloads.platforms import geometric_platform
+
+PARALLEL_JOBS = 4  # oversubscribed on small hosts; determinism must hold anyway
+
+
+def _campaign(n: int = 12) -> Campaign:
+    return Campaign(name="runner-test", grid={"x": (1, 2)}, replications=n // 2)
+
+
+def _echo_trial(trial):
+    """Module-level (hence picklable) per-trial function."""
+    return (trial.params["x"], trial.replication, trial.seed, trial.rng().random())
+
+
+def _fail_on_rep2(trial):
+    if trial.replication == 2:
+        raise ValueError(f"boom at rep {trial.replication}")
+    return trial.seed
+
+
+class TestKnobs:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) == resolve_jobs(None)
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(1, 4) == 1
+        # ~4 chunks per worker, never zero-sized
+        assert default_chunk_size(160, 4) == 10
+        assert default_chunk_size(3, 8) == 1
+
+
+class TestRunTrials:
+    def test_serial_matches_campaign_order(self):
+        campaign = _campaign()
+        run = run_trials(_echo_trial, campaign, jobs=1)
+        assert run.records == [_echo_trial(t) for t in campaign]
+        assert len(run) == len(campaign)
+
+    def test_parallel_identical_to_serial(self):
+        campaign = _campaign()
+        serial = run_trials(_echo_trial, campaign, jobs=1)
+        pooled = run_trials(_echo_trial, campaign, jobs=PARALLEL_JOBS)
+        assert pooled.records == serial.records
+
+    def test_chunking_does_not_change_records(self):
+        campaign = _campaign()
+        baseline = run_trials(_echo_trial, campaign, jobs=1).records
+        for chunk_size in (1, 2, 5, 100):
+            run = run_trials(
+                _echo_trial, campaign, jobs=2, chunk_size=chunk_size
+            )
+            assert run.records == baseline
+
+    def test_stats_account_for_every_trial(self):
+        campaign = _campaign()
+        run = run_trials(_echo_trial, campaign, jobs=PARALLEL_JOBS, label="acct")
+        stats = run.stats
+        assert stats.label == "acct"
+        assert stats.trials == len(campaign)
+        assert sum(w.trials for w in stats.workers) == len(campaign)
+        assert stats.wall_time > 0
+        assert stats.trials_per_second > 0
+        row = stats.as_row()
+        assert row["campaign"] == "acct"
+        assert row["trials"] == len(campaign)
+
+    @pytest.mark.parametrize("jobs", [1, PARALLEL_JOBS])
+    def test_failure_reports_seed_and_params(self, jobs):
+        campaign = _campaign()
+        first = next(t for t in campaign if t.replication == 2)
+        with pytest.raises(TrialError) as excinfo:
+            run_trials(_fail_on_rep2, campaign, jobs=jobs, chunk_size=2)
+        err = excinfo.value
+        # deterministically the *lowest* failing index, on both paths
+        assert err.seed == first.seed
+        assert err.params == first.params
+        assert str(err.seed) in str(err)
+        assert "x" in str(err)
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            run_trials(_echo_trial, _campaign(), jobs=2, chunk_size=0)
+
+
+class TestTelemetry:
+    def test_collects_runs_in_context(self):
+        with telemetry() as tele:
+            assert active_telemetry() is tele
+            run_trials(_echo_trial, _campaign(), jobs=1, label="one")
+            run_trials(_echo_trial, _campaign(), jobs=2, label="two")
+        assert active_telemetry() is None
+        assert [s.label for s in tele.runs] == ["one", "two"]
+        summary = tele.summary()
+        assert summary["campaigns"] == 2
+        assert summary["trials"] == 2 * len(_campaign())
+        rendered = tele.render()
+        assert "one" in rendered and "two" in rendered and "total" in rendered
+
+    def test_nested_contexts_isolate(self):
+        with telemetry() as outer:
+            with telemetry() as inner:
+                run_trials(_echo_trial, _campaign(), jobs=1)
+            assert len(inner.runs) == 1
+        assert outer.runs == []
+
+
+class TestAnalysisEquivalence:
+    """jobs=1 and jobs=N produce identical analysis rows end to end."""
+
+    @pytest.fixture(scope="class")
+    def platform(self):
+        return geometric_platform(3, 4.0)
+
+    def test_acceptance_sweep(self, platform):
+        kwargs = dict(
+            n_tasks=8,
+            normalized_utilizations=(0.7, 0.9),
+            samples=6,
+            name="eq/accept",
+        )
+        testers = {"ff": ff_tester("edf", 1.0)}
+        serial = acceptance_sweep(11, platform, testers, jobs=1, **kwargs)
+        pooled = acceptance_sweep(11, platform, testers, jobs=PARALLEL_JOBS, **kwargs)
+        assert pooled.as_rows() == serial.as_rows()
+        assert pooled.rates == serial.rates
+
+    def test_speedup_study(self, platform):
+        kwargs = dict(
+            scheduler="edf",
+            adversary="partitioned",
+            samples=6,
+            load=0.95,
+            tasks_per_machine=2,
+            name="eq/speedup",
+        )
+        serial = empirical_speedup_study(11, platform, jobs=1, **kwargs)
+        pooled = empirical_speedup_study(11, platform, jobs=PARALLEL_JOBS, **kwargs)
+        assert pooled.alphas == serial.alphas
+        assert pooled.summary == serial.summary
