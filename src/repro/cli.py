@@ -7,6 +7,7 @@ Commands
 ``simulate``    partition an instance and simulate it, reporting misses
 ``experiment``  run an E1–E17 evaluation experiment and print its tables
 ``constants``   verify / re-optimize the proof constants
+``serve``       run the feasibility-query HTTP service (repro.service)
 ``list``        list available experiments
 """
 
@@ -62,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", choices=["edf", "rms"], default="edf")
     p.add_argument("--adversary", choices=["partitioned", "any"], default="partitioned")
     p.add_argument("--alpha", type=float, default=None, help="override speed augmentation")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the verdict as JSON (the same report schema repro.service serves)",
+    )
 
     p = sub.add_parser("generate", help="draw a synthetic instance as JSON")
     p.add_argument("output", type=Path)
@@ -118,6 +124,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--test", default="edf", help="admission test name")
     p.add_argument("--alpha", type=float, default=1.0)
 
+    p = sub.add_parser(
+        "serve", help="run the feasibility-query HTTP service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080, help="0 picks an ephemeral port")
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for /v1/batch (0: all cores; 1: serial "
+            "in-process, the default)"
+        ),
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        metavar="N",
+        help="canonical-instance verdict cache capacity",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="log every request to stderr"
+    )
+
     sub.add_parser("list", help="list available experiments")
     return parser
 
@@ -132,6 +164,13 @@ def _cmd_test(args: argparse.Namespace) -> int:
     report = feasibility_test(
         taskset, platform, args.scheduler, args.adversary, alpha=args.alpha
     )
+    if args.json:
+        import json
+
+        from .io_.serialize import report_to_dict
+
+        print(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+        return 0 if report.accepted else 1
     print(f"verdict: {'ACCEPTED' if report.accepted else 'REJECTED'}")
     print(f"alpha: {report.alpha:g}  (theorem {report.theorem})")
     print(report.guarantee)
@@ -311,6 +350,18 @@ def _cmd_slack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    return serve(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        quiet=not args.verbose,
+    )
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for eid, title in all_experiments().items():
         print(f"{eid}  {title}")
@@ -325,6 +376,7 @@ _HANDLERS = {
     "constants": _cmd_constants,
     "gantt": _cmd_gantt,
     "slack": _cmd_slack,
+    "serve": _cmd_serve,
     "list": _cmd_list,
 }
 

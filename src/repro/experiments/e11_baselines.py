@@ -10,9 +10,16 @@ partitioned adversary provides ground truth:
 * the simplified Hochbaum-Shmoys-style (1+eps) dual-approximation [11]:
   near-exact verdicts at eps=0.25, at orders-of-magnitude higher cost
   (node counts reported), reproducing the paper's practicality argument.
+
+Execution: each sample is one per-trial-seeded :class:`Trial` dispatched
+through :func:`repro.runner.run_trials`, so the comparison parallelizes
+across samples with tables bit-identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
+
+import functools
+from typing import Any
 
 import numpy as np
 
@@ -21,47 +28,72 @@ from ..baselines.exact import exact_partitioned_edf_feasible
 from ..baselines.ptas import ptas_feasibility_test
 from ..core.feasibility import edf_test_vs_partitioned
 from ..core.lp import lp_feasible
+from ..core.model import Platform
+from ..runner import run_trials
 from ..workloads.builder import generate_taskset
+from ..workloads.campaigns import Campaign, Trial, campaign_seed
 from ..workloads.platforms import geometric_platform
 from .base import DEFAULT_SEED, ExperimentResult, Scale, register
 
+_TESTS = ("ours(a=2)", "AT[2](a=3)", "PTAS(eps=.25)", "LP(any)", "exact")
 
-@register("e11", "Baseline agreement: ours vs Andersson-Tovar vs PTAS (Table 5)")
-def run(seed: int = DEFAULT_SEED, scale: Scale = "full") -> ExperimentResult:
-    rng = np.random.default_rng(seed)
-    platform = geometric_platform(3, 4.0)
-    samples = 60 if scale == "quick" else 500
-    stats = {
-        "ours(a=2)": {"accept": 0, "false_reject": 0},
-        "AT[2](a=3)": {"accept": 0, "false_reject": 0},
-        "PTAS(eps=.25)": {"accept": 0, "false_reject": 0},
-        "LP(any)": {"accept": 0, "false_reject": 0},
-        "exact": {"accept": 0, "false_reject": 0},
-    }
-    ptas_nodes = []
-    decided = 0
-    for _ in range(samples):
-        stress = rng.uniform(0.8, 1.15)
-        taskset = generate_taskset(
-            rng, 10, stress * platform.total_speed, u_max=platform.fastest_speed
-        )
-        truth = exact_partitioned_edf_feasible(taskset, platform)
-        if truth is None:
-            continue
-        decided += 1
-        ptas = ptas_feasibility_test(taskset, platform, eps=0.25)
-        ptas_nodes.append(ptas.nodes)
-        verdicts = {
+
+def _compare_sample(platform: Platform, trial: Trial) -> dict[str, Any] | None:
+    """One sample: every tester's verdict, or None if ground truth is
+    undecided within the branch-and-bound node budget."""
+    rng = trial.rng()
+    stress = rng.uniform(0.8, 1.15)
+    taskset = generate_taskset(
+        rng, 10, stress * platform.total_speed, u_max=platform.fastest_speed
+    )
+    truth = exact_partitioned_edf_feasible(taskset, platform)
+    if truth is None:
+        return None
+    ptas = ptas_feasibility_test(taskset, platform, eps=0.25)
+    return {
+        "truth": bool(truth),
+        "nodes": ptas.nodes,
+        "verdicts": {
             "ours(a=2)": edf_test_vs_partitioned(taskset, platform).accepted,
             "AT[2](a=3)": andersson_tovar_edf_test(taskset, platform).accepted,
             "PTAS(eps=.25)": ptas.feasible,
             "LP(any)": lp_feasible(taskset, platform),
             "exact": bool(truth),
-        }
-        for name, accepted in verdicts.items():
+        },
+    }
+
+
+@register("e11", "Baseline agreement: ours vs Andersson-Tovar vs PTAS (Table 5)")
+def run(
+    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+) -> ExperimentResult:
+    platform = geometric_platform(3, 4.0)
+    samples = 60 if scale == "quick" else 500
+    campaign = Campaign(
+        name="e11/baselines",
+        grid={"n_tasks": [10]},
+        replications=samples,
+        base_seed=campaign_seed(seed),
+    )
+    records = run_trials(
+        functools.partial(_compare_sample, platform),
+        campaign,
+        jobs=jobs,
+        label="e11/baselines",
+    )
+
+    stats = {name: {"accept": 0, "false_reject": 0} for name in _TESTS}
+    ptas_nodes = []
+    decided = 0
+    for record in records:
+        if record is None:
+            continue
+        decided += 1
+        ptas_nodes.append(record["nodes"])
+        for name, accepted in record["verdicts"].items():
             if accepted:
                 stats[name]["accept"] += 1
-            elif truth:
+            elif record["truth"]:
                 # rejected an instance some partition could schedule
                 stats[name]["false_reject"] += 1
 

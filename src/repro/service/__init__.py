@@ -1,0 +1,52 @@
+"""Online feasibility-query serving.
+
+The batch CLI answers one instance per process; this package serves the
+paper's Theorem I.1–I.4 verdicts (plus raw first-fit partitions) over
+HTTP from a long-lived process with canonical-instance caching and
+request-level metrics:
+
+* :class:`~repro.service.app.FeasibilityService` — transport-free logic;
+* :mod:`~repro.service.server` — the ``ThreadingHTTPServer`` front-end
+  (``repro serve`` on the CLI);
+* :class:`~repro.service.client.ServiceClient` — stdlib client wrapper;
+* :mod:`~repro.service.cache` / :mod:`~repro.service.metrics` /
+  :mod:`~repro.service.validation` — the supporting pieces.
+
+Endpoints: ``POST /v1/test``, ``POST /v1/partition``, ``POST /v1/batch``,
+``GET /healthz``, ``GET /metrics`` (JSON or ``?format=prometheus``).
+See ``docs/api.md`` ("Serving") for payload schemas.
+"""
+
+from .app import FeasibilityService
+from .cache import CacheStats, LRUCache
+from .client import ServiceClient, ServiceError
+from .metrics import MetricsRegistry
+from .server import ReproServer, make_server, serve
+from .validation import (
+    FieldError,
+    PartitionQuery,
+    TestQuery,
+    ValidationError,
+    parse_batch_request,
+    parse_partition_request,
+    parse_test_request,
+)
+
+__all__ = [
+    "FeasibilityService",
+    "CacheStats",
+    "LRUCache",
+    "ServiceClient",
+    "ServiceError",
+    "MetricsRegistry",
+    "ReproServer",
+    "make_server",
+    "serve",
+    "FieldError",
+    "PartitionQuery",
+    "TestQuery",
+    "ValidationError",
+    "parse_batch_request",
+    "parse_partition_request",
+    "parse_test_request",
+]

@@ -1,0 +1,288 @@
+"""Transport-independent service logic: parse → canonicalize → cache → answer.
+
+The HTTP layer (:mod:`repro.service.server`) is a thin adapter over
+:class:`FeasibilityService`; everything interesting — canonical-instance
+caching, index remapping, batch fan-out — lives here and is unit-testable
+without a socket.
+
+Canonical-instance caching
+--------------------------
+Verdicts are cached under :func:`repro.io_.serialize.instance_digest`,
+which is invariant under task/machine permutation and renaming.  To make
+the cached value reusable across permutations, the verdict is *computed
+on the canonical instance* (tasks sorted into canonical order) and
+stored in canonical terms; each response then remaps task indices back
+to the submitting client's order.  Machine indices never need remapping:
+:class:`~repro.core.model.Platform` stores machines speed-sorted, so the
+canonical machine order and any submission's internal order coincide.
+
+Because the canonical task order sorts by utilization descending — the
+exact order §III first-fit processes tasks in — the canonical run
+performs the same admission probes as a direct call on the submitted
+instance, and (absent exact utilization ties) the remapped response is
+byte-identical to that direct call.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import __version__
+from ..core.feasibility import feasibility_test, theorem_alpha
+from ..core.partition import first_fit_partition
+from ..io_.serialize import (
+    canonical_task_order,
+    instance_digest,
+    partition_result_to_dict,
+    report_to_dict,
+)
+from ..runner import run_trials
+from .cache import LRUCache
+from .metrics import MetricsRegistry
+from .validation import (
+    PartitionQuery,
+    TestQuery,
+    parse_batch_request,
+    parse_partition_request,
+    parse_test_request,
+)
+
+__all__ = ["FeasibilityService"]
+
+
+@dataclass(frozen=True)
+class _BatchItem:
+    """Picklable unit of /v1/batch work (crosses the runner's pool)."""
+
+    taskset: Any  # canonical-order TaskSet
+    platform: Any
+    scheduler: str
+    adversary: str
+    alpha: float | None
+
+
+def _evaluate_batch_item(item: _BatchItem) -> dict[str, Any]:
+    """Per-trial function for the runner: one canonical verdict dict."""
+    report = feasibility_test(
+        item.taskset,
+        item.platform,
+        item.scheduler,
+        item.adversary,
+        alpha=item.alpha,
+    )
+    return report_to_dict(report)
+
+
+def _remap_partition_dict(
+    canon: dict[str, Any], order: list[int]
+) -> dict[str, Any]:
+    """Translate a canonical-order partition dict to submission order.
+
+    ``order[k]`` is the submitted index of the task at canonical
+    position ``k``.  Machine indices are already canonical (speed-sorted)
+    in both views and pass through unchanged.
+    """
+    out = dict(canon)
+    assignment: list[int | None] = [None] * len(order)
+    for k, machine in enumerate(canon["assignment"]):
+        assignment[order[k]] = machine
+    out["assignment"] = assignment
+    out["machine_tasks"] = [
+        [order[k] for k in tasks] for tasks in canon["machine_tasks"]
+    ]
+    out["order"] = [order[k] for k in canon["order"]]
+    failed = canon["failed_task"]
+    out["failed_task"] = order[failed] if failed is not None else None
+    return out
+
+
+def _remap_report_dict(canon: dict[str, Any], order: list[int]) -> dict[str, Any]:
+    """Translate a canonical-order report dict to submission order."""
+    out = dict(canon)
+    out["partition"] = _remap_partition_dict(canon["partition"], order)
+    # Certificate fields are scalars and machine indices — order-free —
+    # but copy so callers can never alias the cached payload.
+    if canon.get("certificate") is not None:
+        out["certificate"] = copy.deepcopy(canon["certificate"])
+    return out
+
+
+class FeasibilityService:
+    """The feasibility-query service: endpoints as plain methods.
+
+    Every ``handle_*`` method takes a decoded JSON payload and returns a
+    JSON-ready dict, raising
+    :class:`~repro.service.validation.ValidationError` on bad input.
+    Thread-safe: the cache and metrics use their own locks and the
+    feasibility tests are pure functions of their arguments.
+    """
+
+    def __init__(self, *, jobs: int = 1, cache_size: int = 1024):
+        self.jobs = jobs
+        self.cache = LRUCache(cache_size)
+        self.metrics = MetricsRegistry()
+        self._started = time.monotonic()
+
+    # Seam for tests (e.g. holding a request in flight to prove graceful
+    # drain); the HTTP layer calls it before dispatching each request.
+    def before_handle(self, endpoint: str) -> None:
+        return None
+
+    # -- verdict plumbing ---------------------------------------------------
+    def _test_digest(self, q: TestQuery) -> tuple[str, float]:
+        """Cache key and the resolved alpha for a test query.
+
+        Resolving ``alpha=None`` to the theorem's value first means an
+        explicit ``alpha=2.0`` EDF/partitioned query and a defaulted one
+        share a cache entry.
+        """
+        alpha = q.alpha if q.alpha is not None else theorem_alpha(
+            q.scheduler, q.adversary  # type: ignore[arg-type]
+        )
+        digest = instance_digest(
+            q.taskset,
+            q.platform,
+            query={
+                "kind": "test",
+                "scheduler": q.scheduler,
+                "adversary": q.adversary,
+                "alpha": alpha,
+            },
+        )
+        return digest, alpha
+
+    def _canonical_test_report(
+        self, q: TestQuery, digest: str
+    ) -> tuple[dict[str, Any], bool, list[int]]:
+        """(canonical report dict, was it cached, canonical order)."""
+        order = canonical_task_order(q.taskset)
+        canon = self.cache.get(digest)
+        if canon is not None:
+            return canon, True, order
+        report = feasibility_test(
+            q.taskset.subset(order),
+            q.platform,
+            q.scheduler,  # type: ignore[arg-type]
+            q.adversary,  # type: ignore[arg-type]
+            alpha=q.alpha,
+        )
+        canon = report_to_dict(report)
+        self.cache.put(digest, canon)
+        return canon, False, order
+
+    # -- endpoints ----------------------------------------------------------
+    def handle_test(self, payload: Any) -> dict[str, Any]:
+        """``POST /v1/test`` — one per-theorem verdict, cached."""
+        q = parse_test_request(payload)
+        digest, _ = self._test_digest(q)
+        canon, cached, order = self._canonical_test_report(q, digest)
+        return {
+            "digest": digest,
+            "cached": cached,
+            "report": _remap_report_dict(canon, order),
+        }
+
+    def handle_partition(self, payload: Any) -> dict[str, Any]:
+        """``POST /v1/partition`` — a first-fit assignment, cached."""
+        q = parse_partition_request(payload)
+        digest = instance_digest(
+            q.taskset,
+            q.platform,
+            query={"kind": "partition", "test": q.test, "alpha": q.alpha},
+        )
+        order = canonical_task_order(q.taskset)
+        canon = self.cache.get(digest)
+        cached = canon is not None
+        if canon is None:
+            result = first_fit_partition(
+                q.taskset.subset(order), q.platform, q.test, alpha=q.alpha
+            )
+            canon = partition_result_to_dict(result)
+            self.cache.put(digest, canon)
+        return {
+            "digest": digest,
+            "cached": cached,
+            "result": _remap_partition_dict(canon, order),
+        }
+
+    def handle_batch(self, payload: Any) -> dict[str, Any]:
+        """``POST /v1/batch`` — many verdicts, cache-aware, pool-dispatched.
+
+        Cache hits are answered inline; the misses fan out through
+        :func:`repro.runner.run_trials` (in-process at ``jobs=1``, a
+        process pool otherwise) and are cached for the next caller.
+        Results come back in submission order regardless of ``jobs``.
+        """
+        queries = parse_batch_request(payload)
+        digests: list[str] = []
+        orders: list[list[int]] = []
+        canon_reports: list[dict[str, Any] | None] = []
+        misses: list[int] = []
+        for q in queries:
+            digest, _ = self._test_digest(q)
+            order = canonical_task_order(q.taskset)
+            digests.append(digest)
+            orders.append(order)
+            canon = self.cache.get(digest)
+            canon_reports.append(canon)
+            if canon is None:
+                misses.append(len(canon_reports) - 1)
+        # Distinct queries can share a digest (permutations of one
+        # instance); evaluate each digest once.
+        pending: dict[str, list[int]] = {}
+        for k in misses:
+            pending.setdefault(digests[k], []).append(k)
+        items = [
+            _BatchItem(
+                taskset=queries[ks[0]].taskset.subset(orders[ks[0]]),
+                platform=queries[ks[0]].platform,
+                scheduler=queries[ks[0]].scheduler,
+                adversary=queries[ks[0]].adversary,
+                alpha=queries[ks[0]].alpha,
+            )
+            for ks in pending.values()
+        ]
+        if items:
+            run = run_trials(
+                _evaluate_batch_item, items, jobs=self.jobs, label="service/batch"
+            )
+            for (digest, ks), canon in zip(pending.items(), run.records):
+                self.cache.put(digest, canon)
+                for k in ks:
+                    canon_reports[k] = canon
+        hits = len(queries) - len(misses)
+        return {
+            "count": len(queries),
+            "cached": hits,
+            "results": [
+                {
+                    "digest": digests[k],
+                    "cached": k not in misses,
+                    "report": _remap_report_dict(canon_reports[k], orders[k]),
+                }
+                for k in range(len(queries))
+            ],
+        }
+
+    def handle_healthz(self) -> dict[str, Any]:
+        """``GET /healthz`` — liveness plus basic identity."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": time.monotonic() - self._started,
+            "jobs": self.jobs,
+            "cache": self.cache.stats().as_dict(),
+        }
+
+    def metrics_json(self) -> dict[str, Any]:
+        """``GET /metrics`` (JSON rendering)."""
+        out = self.metrics.as_dict(self.cache.stats())
+        out["uptime_seconds"] = time.monotonic() - self._started
+        return out
+
+    def metrics_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus`` (text exposition)."""
+        return self.metrics.render_prometheus(self.cache.stats())

@@ -1,0 +1,192 @@
+"""Stdlib HTTP client for the feasibility-query service.
+
+A thin, dependency-free wrapper over :mod:`urllib.request` that speaks
+the service's JSON schemas: domain objects (:class:`TaskSet`,
+:class:`Platform`) go in, decoded response dicts — or, via
+:meth:`ServiceClient.test_report`, a rebuilt
+:class:`~repro.core.feasibility.FeasibilityReport` — come out.  Error
+responses raise :class:`ServiceError` carrying the structured body, so
+callers never parse failure text.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Iterable, Sequence
+
+from ..core.feasibility import FeasibilityReport
+from ..core.model import Platform, TaskSet
+from ..io_.serialize import (
+    platform_to_dict,
+    report_from_dict,
+    taskset_to_dict,
+)
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; ``payload`` is the decoded error body."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        message = ""
+        if isinstance(payload, dict):
+            message = payload.get("error", {}).get("message", "")
+        super().__init__(f"HTTP {status}: {message or payload!r}")
+
+    @property
+    def fields(self) -> list[dict[str, str]]:
+        """Field-level errors from a 400 response (empty otherwise)."""
+        if isinstance(self.payload, dict):
+            return self.payload.get("error", {}).get("fields", [])
+        return []
+
+
+def _instance_payload(
+    taskset: TaskSet,
+    platform: Platform,
+    scheduler: str,
+    adversary: str,
+    alpha: float | None,
+) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "taskset": taskset_to_dict(taskset),
+        "platform": platform_to_dict(platform),
+        "scheduler": scheduler,
+        "adversary": adversary,
+    }
+    if alpha is not None:
+        payload["alpha"] = alpha
+    return payload
+
+
+class ServiceClient:
+    """Client bound to one service base URL (e.g. ``http://127.0.0.1:8080``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> Any:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return self._decode(resp)
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, self._decode(exc)) from None
+
+    @staticmethod
+    def _decode(resp: Any) -> Any:
+        body = resp.read()
+        content_type = resp.headers.get("Content-Type", "")
+        if "json" in content_type:
+            return json.loads(body)
+        return body.decode("utf-8", errors="replace")
+
+    # -- endpoints ----------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self, format: str = "json") -> Any:
+        """Metrics snapshot: a dict for ``json``, text for ``prometheus``."""
+        suffix = "" if format == "json" else f"?format={format}"
+        return self._request("GET", "/metrics" + suffix)
+
+    def test(
+        self,
+        taskset: TaskSet,
+        platform: Platform,
+        scheduler: str = "edf",
+        adversary: str = "partitioned",
+        *,
+        alpha: float | None = None,
+    ) -> dict[str, Any]:
+        """One feasibility verdict; returns the raw response dict
+        (``digest``, ``cached``, ``report``)."""
+        return self._request(
+            "POST",
+            "/v1/test",
+            _instance_payload(taskset, platform, scheduler, adversary, alpha),
+        )
+
+    def test_report(
+        self,
+        taskset: TaskSet,
+        platform: Platform,
+        scheduler: str = "edf",
+        adversary: str = "partitioned",
+        *,
+        alpha: float | None = None,
+    ) -> FeasibilityReport:
+        """Like :meth:`test`, but rebuilt into a
+        :class:`FeasibilityReport` — interchangeable with a direct
+        :func:`~repro.core.feasibility.feasibility_test` call."""
+        response = self.test(
+            taskset, platform, scheduler, adversary, alpha=alpha
+        )
+        return report_from_dict(response["report"])
+
+    def partition(
+        self,
+        taskset: TaskSet,
+        platform: Platform,
+        test: str = "edf",
+        *,
+        alpha: float = 1.0,
+    ) -> dict[str, Any]:
+        """A first-fit assignment; returns ``digest``/``cached``/``result``."""
+        return self._request(
+            "POST",
+            "/v1/partition",
+            {
+                "taskset": taskset_to_dict(taskset),
+                "platform": platform_to_dict(platform),
+                "test": test,
+                "alpha": alpha,
+            },
+        )
+
+    def batch(
+        self,
+        instances: Iterable[
+            tuple[TaskSet, Platform] | Sequence[Any] | dict[str, Any]
+        ],
+        scheduler: str = "edf",
+        adversary: str = "partitioned",
+        *,
+        alpha: float | None = None,
+    ) -> dict[str, Any]:
+        """Many verdicts at once.
+
+        ``instances`` items are ``(taskset, platform)`` pairs (sharing
+        the call's scheduler/adversary/alpha) or ready-made query dicts.
+        """
+        payload_instances: list[dict[str, Any]] = []
+        for item in instances:
+            if isinstance(item, dict):
+                payload_instances.append(item)
+            else:
+                taskset, platform = item
+                payload_instances.append(
+                    _instance_payload(
+                        taskset, platform, scheduler, adversary, alpha
+                    )
+                )
+        return self._request(
+            "POST", "/v1/batch", {"instances": payload_instances}
+        )

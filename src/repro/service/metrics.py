@@ -1,0 +1,185 @@
+"""Request-level observability: counters and latency histograms.
+
+One :class:`MetricsRegistry` per service instance accumulates, per
+endpoint, a request counter split by HTTP status and a fixed-bucket
+latency histogram.  Snapshots render two ways:
+
+* :meth:`MetricsRegistry.as_dict` — plain data for the JSON ``/metrics``
+  response;
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (counters plus cumulative ``_bucket`` series), so a
+  scraper can point at ``/metrics?format=prometheus`` unchanged.
+
+Everything is guarded by one lock; observation is two dict updates and
+a bucket scan, far below the cost of any feasibility test.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from .cache import CacheStats
+
+__all__ = ["DEFAULT_BUCKETS", "LatencyHistogram", "MetricsRegistry"]
+
+#: Histogram bucket upper bounds, in seconds.  Feasibility tests on
+#: cached instances answer in microseconds; cold LP/batch queries can
+#: take tens of milliseconds — the range covers both with headroom.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (not thread-safe on its own —
+    callers hold the registry lock)."""
+
+    __slots__ = ("buckets", "counts", "overflow", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("buckets must be strictly increasing")
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.overflow = 0  # observations above the last bound (+Inf bucket)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.total += seconds
+        self.count += 1
+        for k, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.counts[k] += 1
+                return
+        self.overflow += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, c in zip(self.buckets, self.counts):
+            running += c
+            out.append((bound, running))
+        out.append((float("inf"), running + self.overflow))
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum_seconds": self.total,
+            "mean_seconds": self.total / self.count if self.count else 0.0,
+            "buckets": {
+                _le_label(bound): cum for bound, cum in self.cumulative()
+            },
+        }
+
+
+def _le_label(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+class MetricsRegistry:
+    """Per-endpoint request counters and latency histograms."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        self._buckets = buckets
+        self._lock = threading.Lock()
+        #: (endpoint, status) -> count
+        self._requests: dict[tuple[str, int], int] = {}
+        #: endpoint -> histogram
+        self._latency: dict[str, LatencyHistogram] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished request."""
+        with self._lock:
+            key = (endpoint, int(status))
+            self._requests[key] = self._requests.get(key, 0) + 1
+            hist = self._latency.get(endpoint)
+            if hist is None:
+                hist = self._latency[endpoint] = LatencyHistogram(self._buckets)
+            hist.observe(seconds)
+
+    def request_count(self, endpoint: str | None = None) -> int:
+        """Total requests, optionally restricted to one endpoint."""
+        with self._lock:
+            return sum(
+                c
+                for (ep, _), c in self._requests.items()
+                if endpoint is None or ep == endpoint
+            )
+
+    def as_dict(self, cache: CacheStats | None = None) -> dict[str, Any]:
+        """JSON-ready snapshot of every metric."""
+        with self._lock:
+            requests: dict[str, dict[str, int]] = {}
+            for (ep, status), count in sorted(self._requests.items()):
+                requests.setdefault(ep, {})[str(status)] = count
+            latency = {
+                ep: hist.as_dict() for ep, hist in sorted(self._latency.items())
+            }
+        out: dict[str, Any] = {"requests": requests, "latency": latency}
+        if cache is not None:
+            out["cache"] = cache.as_dict()
+        return out
+
+    def render_prometheus(self, cache: CacheStats | None = None) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            requests = sorted(self._requests.items())
+            latency = [
+                (ep, hist.cumulative(), hist.total, hist.count)
+                for ep, hist in sorted(self._latency.items())
+            ]
+        lines.append("# HELP repro_requests_total Requests served, by endpoint and status.")
+        lines.append("# TYPE repro_requests_total counter")
+        for (ep, status), count in requests:
+            lines.append(
+                f'repro_requests_total{{endpoint="{ep}",status="{status}"}} {count}'
+            )
+        lines.append("# HELP repro_request_latency_seconds Request latency, by endpoint.")
+        lines.append("# TYPE repro_request_latency_seconds histogram")
+        for ep, cumulative, total, count in latency:
+            for bound, cum in cumulative:
+                lines.append(
+                    f'repro_request_latency_seconds_bucket{{endpoint="{ep}",'
+                    f'le="{_le_label(bound)}"}} {cum}'
+                )
+            lines.append(
+                f'repro_request_latency_seconds_sum{{endpoint="{ep}"}} {total!r}'
+            )
+            lines.append(
+                f'repro_request_latency_seconds_count{{endpoint="{ep}"}} {count}'
+            )
+        if cache is not None:
+            for name, value, help_text in (
+                ("repro_cache_hits_total", cache.hits, "Verdict cache hits."),
+                ("repro_cache_misses_total", cache.misses, "Verdict cache misses."),
+                ("repro_cache_evictions_total", cache.evictions, "Verdict cache evictions."),
+            ):
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {value}")
+            for name, value, help_text in (
+                ("repro_cache_size", float(cache.size), "Cached verdicts."),
+                ("repro_cache_capacity", float(cache.capacity), "Cache capacity."),
+                ("repro_cache_hit_ratio", cache.hit_ratio, "Hits / lookups."),
+            ):
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {value!r}")
+        return "\n".join(lines) + "\n"

@@ -21,9 +21,29 @@ class TestParser:
             ["constants"],
             ["generate", "x.json"],
             ["experiment", "e01"],
+            ["serve"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.jobs == 1
+        assert args.cache_size == 1024
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "4", "--cache-size", "64"]
+        )
+        assert args.port == 0
+        assert args.jobs == 4
+        assert args.cache_size == 64
+
+    def test_serve_rejects_negative_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--jobs", "-1"])
 
 
 class TestCommands:
@@ -60,6 +80,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "ACCEPTED" in out
+
+    def test_test_json_uses_shared_report_schema(self, tmp_path, capsys):
+        from repro.core.feasibility import feasibility_test
+        from repro.io_.serialize import (
+            platform_from_dict,
+            report_to_dict,
+            taskset_from_dict,
+        )
+
+        inst = tmp_path / "i.json"
+        main(["generate", str(inst), "--tasks", "6", "--machines", "3",
+              "--stress", "0.5", "--seed", "1"])
+        capsys.readouterr()
+        code = main(["test", str(inst), "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        printed = json.loads(out)
+        data = json.loads(inst.read_text())
+        direct = report_to_dict(
+            feasibility_test(
+                taskset_from_dict(data["taskset"]),
+                platform_from_dict(data["platform"]),
+            )
+        )
+        assert printed == direct
 
     def test_test_reject(self, tmp_path, capsys):
         inst = tmp_path / "i.json"

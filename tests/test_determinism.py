@@ -45,6 +45,21 @@ class TestExperimentDeterminism:
         b = get_experiment("e04")(seed=123, scale="quick")
         assert a.rows == b.rows
 
+    def test_e10_bit_identical_across_jobs(self):
+        # adaptive draw rounds are whole-batch, so jobs must not change
+        # which draws are classified (rows contain NaN bounds — compare
+        # the rendered table, the CLI's stdout contract)
+        a = get_experiment("e10")(seed=7, scale="quick", jobs=1)
+        b = get_experiment("e10")(seed=7, scale="quick", jobs=2)
+        assert a.render() == b.render()
+        assert a.notes == b.notes
+
+    def test_e11_bit_identical_across_jobs(self):
+        a = get_experiment("e11")(seed=7, scale="quick", jobs=1)
+        b = get_experiment("e11")(seed=7, scale="quick", jobs=2)
+        assert a.render() == b.render()
+        assert a.rows == b.rows
+
     def test_seed_changes_results(self):
         a = get_experiment("e04")(seed=1, scale="quick")
         b = get_experiment("e04")(seed=2, scale="quick")

@@ -4,13 +4,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.feasibility import feasibility_test
 from repro.core.model import Machine, Platform, Task, TaskSet
 from repro.core.partition import first_fit_partition
 from repro.io_.serialize import (
+    canonical_instance,
+    canonical_task_order,
+    certificate_from_dict,
+    certificate_to_dict,
+    instance_digest,
     load_json,
+    partition_result_from_dict,
     partition_result_to_dict,
     platform_from_dict,
     platform_to_dict,
+    report_from_dict,
+    report_to_dict,
     save_json,
     task_from_dict,
     task_to_dict,
@@ -81,6 +90,178 @@ class TestSerialization:
         assert d["alpha"] == 2.0
         assert d["test_name"] == "edf"
         assert len(d["assignment"]) == len(small_taskset)
+
+
+class TestReportRoundtrip:
+    """report_to_dict / report_from_dict — the one JSON schema shared by
+    the CLI `test --json` output and every repro.service response."""
+
+    REJECTED = (
+        TaskSet([Task(wcet=9, period=10) for _ in range(5)]),
+        Platform.from_speeds([1.0, 1.0]),
+    )
+
+    def test_accepted_report_roundtrip(self, small_taskset, hetero_platform):
+        report = feasibility_test(small_taskset, hetero_platform)
+        assert report.accepted
+        assert report_from_dict(report_to_dict(report)) == report
+
+    def test_rejected_report_roundtrip_with_certificate(self):
+        taskset, platform = self.REJECTED
+        for scheduler in ("edf", "rms"):
+            report = feasibility_test(taskset, platform, scheduler)
+            assert not report.accepted
+            back = report_from_dict(report_to_dict(report))
+            assert back == report
+            assert back.certificate.certifies == report.certificate.certifies
+
+    def test_json_text_roundtrip(self, small_taskset, hetero_platform):
+        import json as json_module
+
+        report = feasibility_test(small_taskset, hetero_platform, "rms", "any")
+        text = json_module.dumps(report_to_dict(report))
+        assert report_from_dict(json_module.loads(text)) == report
+
+    def test_guarantee_text_is_exported(self, small_taskset, hetero_platform):
+        report = feasibility_test(small_taskset, hetero_platform)
+        assert report_to_dict(report)["guarantee"] == report.guarantee
+
+    def test_certificate_roundtrip(self):
+        taskset, platform = self.REJECTED
+        cert = feasibility_test(taskset, platform).certificate
+        d = certificate_to_dict(cert)
+        assert d["certifies"] == cert.certifies
+        assert certificate_from_dict(d) == cert
+
+    def test_partition_result_roundtrip(self, small_taskset, hetero_platform):
+        for alpha in (1.0, 2.0):
+            r = first_fit_partition(
+                small_taskset, hetero_platform, "edf", alpha=alpha
+            )
+            assert partition_result_from_dict(partition_result_to_dict(r)) == r
+
+    def test_partition_result_reconstructs_machine_tasks(self, small_taskset):
+        platform = Platform.from_speeds([1.0, 2.0])
+        r = first_fit_partition(small_taskset, platform, "edf", alpha=2.0)
+        d = partition_result_to_dict(r)
+        del d["machine_tasks"]  # archives from before the field was exported
+        assert partition_result_from_dict(d) == r
+
+
+class TestCanonicalDigest:
+    """The service's cache key: order/name-invariant, parameter-sensitive,
+    stable across interpreter runs."""
+
+    TASKS = TaskSet(
+        [Task(wcet=2, period=10), Task(wcet=6, period=8), Task(wcet=3, period=4)]
+    )
+    SPEEDS = [1.0, 2.0, 4.0]
+    #: sha256 of the canonical JSON — pinned so a silent change to the
+    #: canonicalization (which would orphan every cached verdict and any
+    #: externally stored digest) fails loudly.
+    PINNED = "2a00eb53554f9b2b641c2e0e3368d00c2ec646306430234d5438de08b73e75c9"
+    PINNED_QUERY = "465f01de192fd5ffb559d296be84c05d1260572f9c016d3df5962c0392220dbc"
+
+    def _platform(self, speeds=None):
+        return Platform.from_speeds(speeds or self.SPEEDS)
+
+    def test_pinned_digest_stable_across_runs(self):
+        assert instance_digest(self.TASKS, self._platform()) == self.PINNED
+
+    def test_pinned_digest_with_query(self):
+        digest = instance_digest(
+            self.TASKS,
+            self._platform(),
+            query={
+                "kind": "test",
+                "scheduler": "edf",
+                "adversary": "partitioned",
+                "alpha": 2.0,
+            },
+        )
+        assert digest == self.PINNED_QUERY
+
+    def test_task_permutation_invariant(self):
+        import itertools
+
+        platform = self._platform()
+        digests = {
+            instance_digest(self.TASKS.subset(perm), platform)
+            for perm in itertools.permutations(range(len(self.TASKS)))
+        }
+        assert digests == {self.PINNED}
+
+    def test_machine_permutation_invariant(self):
+        for speeds in ([4.0, 1.0, 2.0], [2.0, 4.0, 1.0]):
+            assert (
+                instance_digest(self.TASKS, self._platform(speeds)) == self.PINNED
+            )
+
+    def test_names_do_not_matter(self):
+        named = TaskSet(
+            Task(wcet=t.wcet, period=t.period, name=f"task-{i}")
+            for i, t in enumerate(self.TASKS)
+        )
+        platform = Platform(
+            Machine(speed=s, name=f"node-{j}") for j, s in enumerate(self.SPEEDS)
+        )
+        assert instance_digest(named, platform) == self.PINNED
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda t: Task(wcet=t.wcet + 1e-9, period=t.period, deadline=t.deadline),
+            lambda t: Task(wcet=t.wcet, period=t.period + 1e-9, deadline=None),
+            lambda t: Task(wcet=t.wcet, period=t.period, deadline=t.period / 2),
+        ],
+    )
+    def test_changing_any_task_parameter_changes_digest(self, mutate):
+        platform = self._platform()
+        for i in range(len(self.TASKS)):
+            tasks = list(self.TASKS)
+            tasks[i] = mutate(tasks[i])
+            assert instance_digest(TaskSet(tasks), platform) != self.PINNED
+
+    def test_changing_any_speed_changes_digest(self):
+        for j in range(len(self.SPEEDS)):
+            speeds = list(self.SPEEDS)
+            speeds[j] += 1e-9
+            assert (
+                instance_digest(self.TASKS, self._platform(speeds)) != self.PINNED
+            )
+
+    def test_query_params_change_digest(self):
+        base = instance_digest(self.TASKS, self._platform())
+        with_query = instance_digest(
+            self.TASKS, self._platform(), query={"kind": "partition"}
+        )
+        assert base != with_query
+
+    def test_canonical_order_is_utilization_descending(self):
+        order = canonical_task_order(self.TASKS)
+        utils = [self.TASKS[i].utilization for i in order]
+        assert utils == sorted(utils, reverse=True)
+
+    def test_canonical_ties_broken_by_parameters_not_position(self):
+        # same utilization, different periods: order must not depend on
+        # submission order
+        a = Task(wcet=1, period=2)
+        b = Task(wcet=2, period=4)
+        platform = self._platform()
+        d1 = instance_digest(TaskSet([a, b]), platform)
+        d2 = instance_digest(TaskSet([b, a]), platform)
+        assert d1 == d2
+        forward = canonical_task_order(TaskSet([a, b]))
+        backward = canonical_task_order(TaskSet([b, a]))
+        assert [(
+            TaskSet([a, b])[i].period) for i in forward
+        ] == [(TaskSet([b, a])[i].period) for i in backward]
+
+    def test_canonical_instance_shape(self):
+        canon = canonical_instance(self.TASKS, self._platform())
+        assert set(canon) == {"tasks", "speeds"}
+        assert canon["speeds"] == sorted(self.SPEEDS)
+        assert all(len(triple) == 3 for triple in canon["tasks"])
 
 
 class TestTables:
