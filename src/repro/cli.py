@@ -8,6 +8,7 @@ Commands
 ``experiment``  run an E1–E17 evaluation experiment and print its tables
 ``constants``   verify / re-optimize the proof constants
 ``serve``       run the feasibility-query HTTP service (repro.service)
+``fuzz``        differential-fuzz the oracle invariant lattice (repro.oracle)
 ``list``        list available experiments
 """
 
@@ -148,6 +149,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz the oracle invariant lattice",
+        description=(
+            "Draw randomized and boundary-adversarial instances, evaluate "
+            "them through every oracle pair (first-fit theorem tests, exact "
+            "adversaries, LP, service), and check the invariant lattice. "
+            "Violations are shrunk to minimal counterexamples and saved as "
+            "JSON repro cases. Findings are bit-identical for every --jobs."
+        ),
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    p.add_argument(
+        "--budget", type=int, default=1000, metavar="N", help="number of trials"
+    )
+    p.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N",
+        help="worker processes (0: all cores; 1: serial in-process)",
+    )
+    p.add_argument(
+        "--profile",
+        action="append",
+        dest="profiles",
+        metavar="NAME",
+        default=None,
+        help="generator profile (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--check",
+        action="append",
+        dest="checks",
+        metavar="NAME",
+        default=None,
+        help="invariant to check (repeatable; default: the full lattice)",
+    )
+    p.add_argument(
+        "--campaign",
+        default="oracle-fuzz",
+        metavar="NAME",
+        help="campaign name (folded into per-trial seeds)",
+    )
+    p.add_argument(
+        "--out-dir",
+        type=Path,
+        default=Path("results/counterexamples"),
+        metavar="DIR",
+        help="where shrunk counterexamples are persisted",
+    )
+    p.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="persist violations as found, without delta-debugging",
+    )
+    p.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="replay a saved counterexample instead of fuzzing",
+    )
+    p.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "inject a deliberately broken Liu-Layland bound and verify the "
+            "harness catches and shrinks it"
+        ),
     )
 
     sub.add_parser("list", help="list available experiments")
@@ -362,6 +435,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .oracle import replay_counterexample, run_fuzz, self_test
+
+    if args.replay is not None:
+        violations = replay_counterexample(args.replay)
+        if violations:
+            print(f"REPRODUCED: {args.replay}")
+            for v in violations:
+                print(f"  [{v.invariant}] {v.detail}")
+            return 1
+        print(f"no longer reproduces (fixed): {args.replay}")
+        return 0
+    if args.self_test:
+        result = self_test(seed=args.seed)
+        print(result.summary())
+        return 0 if result.ok else 1
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        jobs=args.jobs,
+        profiles=args.profiles,
+        checks=args.checks,
+        shrink=not args.no_shrink,
+        out_dir=args.out_dir,
+        campaign_name=args.campaign,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for eid, title in all_experiments().items():
         print(f"{eid}  {title}")
@@ -377,6 +480,7 @@ _HANDLERS = {
     "gantt": _cmd_gantt,
     "slack": _cmd_slack,
     "serve": _cmd_serve,
+    "fuzz": _cmd_fuzz,
     "list": _cmd_list,
 }
 

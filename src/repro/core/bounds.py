@@ -30,7 +30,7 @@ import math
 from abc import ABC, abstractmethod
 from typing import Iterable, Sequence
 
-from .model import EPS, Task, leq
+from .model import Task, leq
 from .rta import rms_response_times
 
 __all__ = [
@@ -90,13 +90,18 @@ def rms_hyperbolic_feasible(tasks: Sequence[Task], speed: float) -> bool:
     Sufficient for RMS; strictly dominates the Liu–Layland bound (accepts
     every LL-accepted set and more).  Not part of the paper's algorithm —
     used for the pessimism study (E3).
+
+    The early exit uses the same relative-tolerance :func:`leq` as the
+    final verdict: the factors are all >= 1, so once a partial product
+    fails ``leq(prod, 2.0)`` the full product fails it too, and the exit
+    can never flip a verdict the complete product would accept.
     """
     prod = 1.0
     for t in tasks:
         prod *= t.utilization / speed + 1.0
-        if prod > 2.0 + EPS:
+        if not leq(prod, 2.0):
             return False
-    return leq(prod, 2.0)
+    return True
 
 
 def rms_rta_feasible(tasks: Sequence[Task], speed: float) -> bool:
@@ -108,6 +113,47 @@ def rms_rta_feasible(tasks: Sequence[Task], speed: float) -> bool:
 # ---------------------------------------------------------------------------
 # Incremental admission tests for the partitioner
 # ---------------------------------------------------------------------------
+
+
+class _NeumaierSum:
+    """Compensated (Neumaier) accumulator for per-machine load.
+
+    The one-shot set tests sum utilizations with ``math.fsum``; if the
+    incremental states accumulated with plain ``+=`` the two paths could
+    drift apart by enough floating-point noise to flip a verdict on a
+    boundary instance — the partitioner would then accept a set that
+    ``verify_partition`` rejects (or vice versa).  Neumaier summation
+    keeps the running total within one rounding of the exact sum, far
+    inside the :data:`~repro.core.model.EPS` comparison tolerance, so the
+    incremental and one-shot verdicts always agree.
+    """
+
+    __slots__ = ("_sum", "_comp")
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._comp = 0.0
+
+    def add(self, x: float) -> None:
+        s = self._sum + x
+        if abs(self._sum) >= abs(x):
+            self._comp += (self._sum - s) + x
+        else:
+            self._comp += (x - s) + self._sum
+        self._sum = s
+
+    def peek(self, x: float) -> float:
+        """The compensated total if ``x`` were added (state unchanged)."""
+        s = self._sum + x
+        if abs(self._sum) >= abs(x):
+            comp = self._comp + ((self._sum - s) + x)
+        else:
+            comp = self._comp + ((x - s) + self._sum)
+        return s + comp
+
+    @property
+    def total(self) -> float:
+        return self._sum + self._comp
 
 
 class MachineState(ABC):
@@ -164,19 +210,19 @@ class _EDFState(MachineState):
 
     def __init__(self, speed: float):
         super().__init__(speed)
-        self._load = 0.0
+        self._load = _NeumaierSum()
         self._count = 0
 
     def admits(self, task: Task) -> bool:
-        return leq(self._load + task.utilization, self.speed)
+        return leq(self._load.peek(task.utilization), self.speed)
 
     def add(self, task: Task) -> None:
-        self._load += task.utilization
+        self._load.add(task.utilization)
         self._count += 1
 
     @property
     def load(self) -> float:
-        return self._load
+        return self._load.total
 
     @property
     def count(self) -> int:
@@ -200,20 +246,20 @@ class _RMSLLState(MachineState):
 
     def __init__(self, speed: float):
         super().__init__(speed)
-        self._load = 0.0
+        self._load = _NeumaierSum()
         self._count = 0
 
     def admits(self, task: Task) -> bool:
         bound = liu_layland_bound(self._count + 1) * self.speed
-        return leq(self._load + task.utilization, bound)
+        return leq(self._load.peek(task.utilization), bound)
 
     def add(self, task: Task) -> None:
-        self._load += task.utilization
+        self._load.add(task.utilization)
         self._count += 1
 
     @property
     def load(self) -> float:
-        return self._load
+        return self._load.total
 
     @property
     def count(self) -> int:
@@ -242,7 +288,7 @@ class _RMSHyperbolicState(MachineState):
     def __init__(self, speed: float):
         super().__init__(speed)
         self._product = 1.0
-        self._load = 0.0
+        self._load = _NeumaierSum()
         self._count = 0
 
     def admits(self, task: Task) -> bool:
@@ -250,12 +296,12 @@ class _RMSHyperbolicState(MachineState):
 
     def add(self, task: Task) -> None:
         self._product *= task.utilization / self.speed + 1.0
-        self._load += task.utilization
+        self._load.add(task.utilization)
         self._count += 1
 
     @property
     def load(self) -> float:
-        return self._load
+        return self._load.total
 
     @property
     def count(self) -> int:
@@ -280,18 +326,18 @@ class _RMSRTAState(MachineState):
     def __init__(self, speed: float):
         super().__init__(speed)
         self._tasks: list[Task] = []
-        self._load = 0.0
+        self._load = _NeumaierSum()
 
     def admits(self, task: Task) -> bool:
         return rms_rta_feasible(self._tasks + [task], self.speed)
 
     def add(self, task: Task) -> None:
         self._tasks.append(task)
-        self._load += task.utilization
+        self._load.add(task.utilization)
 
     @property
     def load(self) -> float:
-        return self._load
+        return self._load.total
 
     @property
     def count(self) -> int:

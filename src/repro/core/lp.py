@@ -37,11 +37,32 @@ __all__ = [
     "lp_solve",
     "check_lp_solution",
     "verify_lemma_ii1",
+    "tol_leq",
+    "tol_geq",
 ]
 
 #: Feasibility slack granted to the solver's answer.  HiGHS enforces
 #: constraints to ~1e-9; we accept 1e-7 to be safe across platforms.
 LP_TOL: float = 1e-7
+
+
+def tol_leq(a, b, *, tol: float = LP_TOL):
+    """Tolerant ``a <= b`` — *the* tolerance convention for LP-side checks.
+
+    Identical shape to :func:`repro.core.model.leq` (relative to the
+    larger magnitude, absolute near zero) but at the LP's looser ``tol``;
+    works elementwise on numpy arrays.  Every comparison in
+    :func:`check_lp_solution` and :func:`verify_lemma_ii1` goes through
+    this one helper so the two verifiers can never disagree about what
+    "on the boundary" means.
+    """
+    scale = np.maximum(1.0, np.maximum(np.abs(a), np.abs(b)))
+    return a <= b + tol * scale
+
+
+def tol_geq(a, b, *, tol: float = LP_TOL):
+    """Tolerant ``a >= b`` (see :func:`tol_leq`)."""
+    return tol_leq(b, a, tol=tol)
 
 
 @dataclass(frozen=True)
@@ -172,15 +193,16 @@ def check_lp_solution(
     u = np.asarray(u, dtype=float)
     if u.shape != (n, m):
         return False
-    if (u < -tol).any():
+    if not np.all(tol_geq(u, 0.0, tol=tol)):
         return False
     w = np.array(taskset.utilizations)
     s = np.array(platform.speeds)
-    if not np.allclose(u.sum(axis=1), w, atol=tol, rtol=tol):
+    served = u.sum(axis=1)
+    if not np.all(tol_leq(served, w, tol=tol) & tol_geq(served, w, tol=tol)):
         return False
-    if ((u / s).sum(axis=1) > 1.0 + tol).any():
+    if not np.all(tol_leq((u / s).sum(axis=1), 1.0, tol=tol)):
         return False
-    if ((u / s).sum(axis=0) > 1.0 + tol).any():
+    if not np.all(tol_leq((u / s).sum(axis=0), 1.0, tol=tol)):
         return False
     return True
 
@@ -208,6 +230,11 @@ def verify_lemma_ii1(
     slow prefix ``u[i,j]/s_j >= alpha*u[i,j]/w_i``, so the prefix carries
     at most ``w_i/alpha`` of the task, leaving at least ``w_i*(1-1/alpha)``
     on the suffix.  ``k = 0`` is the trivial case (suffix = everything).
+
+    All boundary comparisons use :func:`tol_leq`/:func:`tol_geq` — the
+    same convention as :func:`check_lp_solution` — so a ``w_i ~= alpha *
+    s_k`` instance that one verifier treats as "on the prefix" cannot be
+    treated as "off it" by the other.
     """
     if alpha <= 1.0:
         raise ValueError("Lemma II.1 needs alpha > 1")
@@ -222,8 +249,8 @@ def verify_lemma_ii1(
         for j in range(m - 1, -1, -1):
             suffixes[j] = suffixes[j + 1] + u[i, j]
         for k in range(0, m + 1):
-            if k > 0 and w_i < alpha * s[k - 1] * (1.0 - tol):
+            if k > 0 and not tol_geq(w_i, alpha * s[k - 1], tol=tol):
                 break  # machines only get faster: no further k applies
-            if w_i > factor * suffixes[k] + tol * max(1.0, w_i):
+            if not tol_leq(w_i, factor * suffixes[k], tol=tol):
                 return False
     return True

@@ -1,0 +1,50 @@
+"""Differential-testing oracle: invariant lattice, fuzzing, shrinking.
+
+The repo computes every feasibility answer several independent ways
+(first-fit theorem tests, exact adversaries, the LP, the service).  This
+package cross-examines them: :mod:`~repro.oracle.generators` draws
+randomized and boundary-adversarial instances,
+:mod:`~repro.oracle.invariants` checks the dominance lattice between the
+answers, :mod:`~repro.oracle.shrink` delta-debugs violations to minimal
+counterexamples, and :mod:`~repro.oracle.fuzz` runs it all as a
+deterministic parallel campaign (``repro fuzz``).
+"""
+
+from .fuzz import (
+    COUNTEREXAMPLE_SCHEMA,
+    Counterexample,
+    FuzzReport,
+    SelfTestResult,
+    replay_counterexample,
+    run_fuzz,
+    self_test,
+)
+from .generators import PROFILES, boundary_nudges, draw_instance
+from .invariants import (
+    CHECKS,
+    PER_TEST_CHECKS,
+    OracleConfig,
+    Violation,
+    check_instance,
+)
+from .shrink import ShrinkResult, shrink_instance
+
+__all__ = [
+    "COUNTEREXAMPLE_SCHEMA",
+    "Counterexample",
+    "FuzzReport",
+    "SelfTestResult",
+    "replay_counterexample",
+    "run_fuzz",
+    "self_test",
+    "PROFILES",
+    "boundary_nudges",
+    "draw_instance",
+    "CHECKS",
+    "PER_TEST_CHECKS",
+    "OracleConfig",
+    "Violation",
+    "check_instance",
+    "ShrinkResult",
+    "shrink_instance",
+]

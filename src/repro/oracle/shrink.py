@@ -1,0 +1,179 @@
+"""Delta-debugging of oracle counterexamples to minimal instances.
+
+Given an instance on which some invariant check fails, greedily apply
+verdict-preserving reductions until none applies (or the evaluation
+budget runs out):
+
+* drop chunks of tasks (classic ddmin, halving chunk sizes),
+* drop a chunk **and rescale** the survivors so total utilization is
+  preserved — essential for threshold violations, where plain dropping
+  lowers the total below the failing bound and gets stuck far from the
+  true minimum,
+* drop machines (platforms must keep at least one),
+* round wcets, periods, deadlines and speeds to few significant digits,
+  so the surviving counterexample prints as human-readable numbers.
+
+The predicate is re-evaluated on every candidate; only reductions that
+keep it True are kept, so the result provokes the *same* failure as the
+original.  Everything is deterministic: candidates are enumerated in a
+fixed order and the first improving one is taken.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.model import Machine, Platform, Task, TaskSet
+
+__all__ = ["shrink_instance", "ShrinkResult"]
+
+Predicate = Callable[[TaskSet, Platform], bool]
+
+
+class ShrinkResult:
+    """Outcome of a shrink run."""
+
+    __slots__ = ("taskset", "platform", "evaluations", "exhausted")
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        platform: Platform,
+        evaluations: int,
+        exhausted: bool,
+    ):
+        self.taskset = taskset
+        self.platform = platform
+        self.evaluations = evaluations
+        self.exhausted = exhausted
+
+
+class _Budget:
+    __slots__ = ("left", "used")
+
+    def __init__(self, limit: int):
+        self.left = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        if self.left <= 0:
+            return False
+        self.left -= 1
+        self.used += 1
+        return True
+
+
+def _round_sig(x: float, digits: int) -> float:
+    return float(f"%.{digits}g" % x)
+
+
+def _drop_chunk(taskset: TaskSet, start: int, size: int) -> TaskSet:
+    keep = [i for i in range(len(taskset)) if not start <= i < start + size]
+    return taskset.subset(keep)
+
+
+def _task_candidates(taskset: TaskSet):
+    """Smaller task sets to try, most aggressive first."""
+    n = len(taskset)
+    if n <= 1:
+        return
+    size = n // 2
+    while size >= 1:
+        for start in range(0, n, size):
+            smaller = _drop_chunk(taskset, start, size)
+            if len(smaller) == 0:
+                continue
+            yield smaller
+            # rescaled variant: survivors carry the dropped utilization
+            total = taskset.total_utilization
+            remaining = smaller.total_utilization
+            if 0 < remaining < total:
+                yield smaller.scaled(total / remaining)
+        size //= 2
+
+
+def _platform_candidates(platform: Platform):
+    m = len(platform)
+    if m <= 1:
+        return
+    for j in range(m):
+        yield Platform(platform[i] for i in range(m) if i != j)
+
+
+def _rounding_candidates(taskset: TaskSet, platform: Platform):
+    """Same-shape instances with coarser numbers (taskset, platform pairs)."""
+    for digits in (1, 2, 3, 6, 12):
+        try:
+            ts = TaskSet(
+                Task(
+                    wcet=_round_sig(t.wcet, digits),
+                    period=_round_sig(t.period, digits),
+                    name=t.name,
+                    deadline=(
+                        None
+                        if t.is_implicit
+                        else _round_sig(t.deadline, digits)
+                    ),
+                )
+                for t in taskset
+            )
+            pf = Platform(
+                Machine(speed=_round_sig(m.speed, digits), name=m.name)
+                for m in platform
+            )
+        except ValueError:
+            continue  # rounding collapsed a parameter to zero
+        if ts != taskset or pf != platform:
+            yield ts, pf
+
+
+def shrink_instance(
+    taskset: TaskSet,
+    platform: Platform,
+    predicate: Predicate,
+    *,
+    max_evaluations: int = 400,
+) -> ShrinkResult:
+    """Reduce ``(taskset, platform)`` while ``predicate`` stays True.
+
+    ``predicate`` must be True on the input (ValueError otherwise) —
+    shrinking something that does not fail is a caller bug.
+    """
+    if not predicate(taskset, platform):
+        raise ValueError("predicate must hold on the starting instance")
+    budget = _Budget(max_evaluations)
+
+    def holds(ts: TaskSet, pf: Platform) -> bool:
+        if not budget.spend():
+            return False
+        try:
+            return bool(predicate(ts, pf))
+        except Exception:
+            # a reduction that *crashes* a check is not the same failure
+            return False
+
+    progress = True
+    while progress and budget.left > 0:
+        progress = False
+        for smaller in _task_candidates(taskset):
+            if holds(smaller, platform):
+                taskset = smaller
+                progress = True
+                break
+        if progress:
+            continue
+        for pf in _platform_candidates(platform):
+            if holds(taskset, pf):
+                platform = pf
+                progress = True
+                break
+        if progress:
+            continue
+        for ts, pf in _rounding_candidates(taskset, platform):
+            if holds(ts, pf):
+                taskset, platform = ts, pf
+                progress = True
+                break
+    return ShrinkResult(
+        taskset, platform, evaluations=budget.used, exhausted=budget.left <= 0
+    )

@@ -204,3 +204,110 @@ class TestAdmissionStates:
         # second task: bound 2(sqrt2-1) ~ 0.828 -> 0.5 + 0.33 > bound
         assert not state.admits(Task.from_utilization(0.33, 10))
         assert state.admits(Task.from_utilization(0.32, 10))
+
+
+class TestBoundaryAgreement:
+    """Regression for the incremental-vs-one-shot float-drift bug.
+
+    Before the compensated-accumulation fix, the incremental states
+    summed utilizations with plain ``+=`` while the one-shot set tests
+    used ``math.fsum``; on instances engineered *onto* an admission
+    threshold the two paths could disagree.  These sweeps pin the
+    contract ``state.admits(t) == test.feasible(accepted + [t], speed)``
+    exactly, for all four admission tests, on every side of the
+    tolerance window.
+    """
+
+    #: relative nudges: exact threshold, inside the EPS window, outside
+    NUDGES = (0.0, -5e-10, 5e-10, -2e-9, 2e-9, -8e-9, 8e-9)
+
+    @staticmethod
+    def _assert_paths_agree(test, tasks, speed):
+        state = test.open(speed)
+        accepted = []
+        for i, task in enumerate(tasks):
+            incremental = state.admits(task)
+            oneshot = test.feasible(accepted + [task], speed)
+            assert incremental == oneshot, (
+                f"{test.name} at speed {speed}: admits(task {i}) = "
+                f"{incremental} but one-shot = {oneshot} "
+                f"(utils so far {[t.utilization for t in accepted]}, "
+                f"candidate {task.utilization})"
+            )
+            if incremental:
+                state.add(task)
+                accepted.append(task)
+        total = math.fsum(t.utilization for t in accepted)
+        assert state.load == pytest.approx(total, rel=0, abs=1e-12 + 1e-9 * total)
+
+    @staticmethod
+    def _utils_totalling(target, n):
+        """n decreasing utilizations summing (via fsum-compatible floats)
+        to ~target, then exactly rescaled."""
+        raw = [2.0 ** (-i) for i in range(n)]
+        scale = target / math.fsum(raw)
+        return [u * scale for u in raw]
+
+    @pytest.mark.parametrize("name", sorted(ADMISSION_TESTS))
+    @pytest.mark.parametrize("nudge", NUDGES)
+    @pytest.mark.parametrize("speed", (1.0, 0.75))
+    def test_threshold_nudged_sets(self, name, nudge, speed):
+        test = ADMISSION_TESTS[name]
+        for n in (1, 3, 6):
+            # onto the EDF capacity
+            utils = self._utils_totalling(speed * (1.0 + nudge), n)
+            self._assert_paths_agree(test, tasks_from_utils(utils), speed)
+            # onto the Liu-Layland bound
+            target = liu_layland_bound(n) * speed * (1.0 + nudge)
+            utils = self._utils_totalling(target, n)
+            self._assert_paths_agree(test, tasks_from_utils(utils), speed)
+            # onto the hyperbolic product = 2 (equal utilizations)
+            u = speed * ((2.0 * (1.0 + nudge)) ** (1.0 / n) - 1.0)
+            self._assert_paths_agree(test, tasks_from_utils([u] * n), speed)
+
+    def test_hyperbolic_early_exit_window(self):
+        """Pinned instance from the historical early-exit bug: the
+        product lands at 2 + 1.5e-9 — beyond the old absolute-EPS early
+        exit but inside the relative ``leq`` window the final comparison
+        uses.  Both evaluation paths must accept."""
+        u = math.sqrt(2.0 + 1.5e-9) - 1.0
+        tasks = [Task(wcet=u * 8.0, period=8.0), Task(wcet=u * 16.0, period=16.0)]
+        prod = 1.0
+        for t in tasks:
+            prod *= t.utilization + 1.0
+        assert 2.0 + 1e-9 < prod <= 2.0 + 2e-9  # genuinely in the gap
+        assert rms_hyperbolic_feasible(tasks, 1.0)
+        test = RMSHyperbolicTest()
+        state = test.open(1.0)
+        assert state.admits(tasks[0])
+        state.add(tasks[0])
+        assert state.admits(tasks[1])
+        self._assert_paths_agree(test, tasks, 1.0)
+
+    def test_compensated_accumulation_beats_plain_sum(self):
+        """One unit task followed by 500 tiny ones: plain ``+=`` absorbs
+        every 1e-16 increment into 1.0; the Neumaier state must track the
+        true total (and thus match the one-shot fsum path)."""
+        state = EDFUtilizationTest().open(2.0)
+        state.add(Task.from_utilization(1.0, 10))
+        tiny = Task.from_utilization(1e-16, 10)
+        naive = 1.0
+        for _ in range(500):
+            state.add(tiny)
+            naive += 1e-16  # stays exactly 1.0
+        assert naive == 1.0
+        expected = math.fsum([1.0] + [1e-16] * 500)
+        assert expected >= 1.0 + 4.9e-14
+        assert state.load == pytest.approx(expected, rel=1e-12)
+        assert state.load > 1.0
+
+    def test_all_tests_agree_on_random_boundary_rationals(self):
+        """Dyadic-rational utilization grids (exactly representable)
+        summed onto the capacity from both sides."""
+        for name, test in sorted(ADMISSION_TESTS.items()):
+            for utils in (
+                [0.5, 0.25, 0.125, 0.125],  # sums to exactly 1.0
+                [0.5, 0.25, 0.125, 0.0625, 0.0625],  # exactly 1.0, n=5
+                [0.5, 0.5, 2.0 ** -52],  # one ulp over
+            ):
+                self._assert_paths_agree(test, tasks_from_utils(utils), 1.0)

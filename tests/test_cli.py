@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -265,3 +266,111 @@ class TestCommands:
         with pytest.raises(SystemExit) as exc:
             main(["--version"])
         assert exc.value.code == 0
+
+
+class TestFuzzCLI:
+    FIXTURE = (
+        Path(__file__).parent
+        / "fixtures"
+        / "counterexamples"
+        / "incremental-vs-oneshot-hyperbolic-earlyexit.json"
+    )
+
+    def test_fuzz_parses(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.command == "fuzz"
+        assert args.seed == 0
+        assert args.budget == 1000
+        assert args.jobs == 1
+        assert args.profiles is None
+        assert args.checks is None
+        assert args.campaign == "oracle-fuzz"
+        assert args.out_dir == Path("results/counterexamples")
+        assert not args.no_shrink
+        assert args.replay is None
+        assert not args.self_test
+
+    def test_fuzz_options(self):
+        args = build_parser().parse_args(
+            [
+                "fuzz",
+                "--seed",
+                "5",
+                "--budget",
+                "20",
+                "--jobs",
+                "2",
+                "--profile",
+                "tiny",
+                "--profile",
+                "uniform",
+                "--check",
+                "roundtrip",
+                "--campaign",
+                "nightly",
+                "--out-dir",
+                "somewhere",
+                "--no-shrink",
+            ]
+        )
+        assert args.seed == 5
+        assert args.budget == 20
+        assert args.jobs == 2
+        assert args.profiles == ["tiny", "uniform"]
+        assert args.checks == ["roundtrip"]
+        assert args.campaign == "nightly"
+        assert args.out_dir == Path("somewhere")
+        assert args.no_shrink
+
+    def test_fuzz_rejects_negative_jobs(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--jobs", "-2"])
+
+    def test_fuzz_smoke(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--seed",
+                "1",
+                "--budget",
+                "6",
+                "--out-dir",
+                str(tmp_path / "ce"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no invariant violations" in out
+        assert "trials=6" in out
+
+    def test_fuzz_restricted_profile_and_check(self, tmp_path, capsys):
+        rc = main(
+            [
+                "fuzz",
+                "--budget",
+                "4",
+                "--profile",
+                "tiny",
+                "--check",
+                "roundtrip",
+                "--out-dir",
+                str(tmp_path / "ce"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "profiles=tiny" in out
+        assert "checks: roundtrip" in out
+
+    def test_fuzz_replay_fixed_counterexample(self, capsys):
+        rc = main(["fuzz", "--replay", str(self.FIXTURE)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no longer reproduces" in out
+
+    def test_fuzz_self_test(self, capsys):
+        rc = main(["fuzz", "--self-test"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "self-test ok" in out
+        assert "broken rms-ll" in out

@@ -78,15 +78,28 @@ class TestApproxFeasibility:
     @given(st.lists(constrained_task, min_size=1, max_size=4))
     @settings(max_examples=60, deadline=None)
     def test_monotone_in_k_and_convergent(self, tasks):
-        """Larger k only accepts more; at large k the verdict matches the
-        exact test on these small-period instances."""
+        """Larger k only accepts more; at large k the verdict approaches
+        the exact test up to the provable (1+1/k) augmentation.
+
+        Exact equality at k=64 is *not* guaranteed: for instances whose
+        total utilization sits exactly at the speed (dbf(t) == t at
+        infinitely many step points) the linear tail strictly
+        over-estimates between steps at every finite k, so the
+        approximation must over-reject.  The provable statement is
+        one-sided soundness plus [7]'s augmentation recovery.
+        """
         verdicts = [
             edf_approx_demand_feasible(tasks, 1.0, k=k) for k in (1, 2, 4, 8, 64)
         ]
         for a, b in zip(verdicts, verdicts[1:]):
             if a:
                 assert b  # acceptance is monotone in k
-        assert verdicts[-1] == qpa_edf_feasible(tasks, 1.0)
+        exact = qpa_edf_feasible(tasks, 1.0)
+        if verdicts[-1]:
+            assert exact  # soundness: approximate acceptance is a proof
+        elif exact:
+            # over-rejection disappears with (1 + 1/k) extra speed
+            assert edf_approx_demand_feasible(tasks, 1.0 + 1.0 / 64, k=64)
 
     def test_small_k_over_rejects_bursty_sets(self):
         # feasible set (dbf exactly meets t at 2 and 4) that k=1's linear

@@ -13,6 +13,8 @@ from repro.core.lp import (
     lp_feasible,
     lp_solve,
     lp_stress,
+    tol_geq,
+    tol_leq,
     verify_lemma_ii1,
 )
 from repro.core.model import Platform, Task, TaskSet
@@ -157,3 +159,91 @@ class TestLemmaII1:
         platform = Platform.from_speeds([1.0])
         u = np.array([[0.5]])
         assert verify_lemma_ii1(u, taskset, platform, 2.0)
+
+
+class TestToleranceHelpers:
+    """Direct contract tests for tol_leq/tol_geq — the single comparison
+    convention shared by check_lp_solution and verify_lemma_ii1."""
+
+    def test_scalar_window(self):
+        assert tol_leq(1.0, 1.0)
+        assert tol_leq(1.0 + LP_TOL / 2, 1.0)  # inside the window
+        assert not tol_leq(1.0 + 3 * LP_TOL, 1.0)  # outside it
+        assert tol_geq(1.0 - LP_TOL / 2, 1.0)
+        assert not tol_geq(1.0 - 3 * LP_TOL, 1.0)
+
+    def test_relative_scaling(self):
+        # the window grows with magnitude (relative, not absolute)
+        assert tol_leq(1000.0 + 400 * LP_TOL, 1000.0)
+        assert not tol_leq(1000.0 + 3000 * LP_TOL, 1000.0)
+        # near zero it is absolute
+        assert tol_leq(LP_TOL / 2, 0.0)
+        assert not tol_leq(3 * LP_TOL, 0.0)
+
+    def test_elementwise_on_arrays(self):
+        a = np.array([1.0, 1.0 + LP_TOL / 2, 1.0 + 3 * LP_TOL])
+        out = tol_leq(a, 1.0)
+        assert out.tolist() == [True, True, False]
+        assert tol_geq(np.array([0.5, 1.5]), 1.0).tolist() == [False, True]
+
+    def test_custom_tol(self):
+        assert tol_leq(1.01, 1.0, tol=0.1)
+        assert not tol_leq(1.01, 1.0, tol=1e-9)
+
+
+class TestLemmaII1Boundary:
+    """The w_i ~= alpha * s_k boundary (historical tolerance-mismatch
+    bug): whether machine k counts as 'too slow even augmented' is
+    decided by the same tol_geq window both verifiers share, so the
+    lemma's prefix/suffix split flips consistently."""
+
+    ALPHA = 2.0  # factor alpha/(alpha-1) = 2
+    SPEEDS = (0.45, 1.0)  # threshold w = alpha * s_0 = 0.9
+
+    def _one_task(self, w):
+        return TaskSet([Task.from_utilization(w, 10.0)])
+
+    @pytest.mark.parametrize(
+        "w",
+        [
+            0.9,  # exactly on the threshold
+            0.9 * (1.0 - LP_TOL / 2),  # inside the window from below
+            0.9 * (1.0 + LP_TOL / 2),  # inside the window from above
+            0.9 * (1.0 + 10 * LP_TOL),  # clearly above
+        ],
+    )
+    def test_on_threshold_prefix_applies(self, w):
+        """w within (or above) the tol window of alpha*s_0: machine 0
+        counts as slow, so the suffix (machine 1) must carry >= w/2."""
+        taskset = self._one_task(w)
+        platform = Platform.from_speeds(self.SPEEDS)
+        good = np.array([[w / 2, w / 2]])
+        assert verify_lemma_ii1(good, taskset, platform, self.ALPHA)
+        starved = np.array([[w / 2 * (1 + 10 * LP_TOL), w / 2 * (1 - 10 * LP_TOL)]])
+        assert not verify_lemma_ii1(starved, taskset, platform, self.ALPHA)
+
+    def test_below_threshold_prefix_does_not_apply(self):
+        """w clearly below alpha*s_0: k=1 never triggers, only the
+        trivial k=0 case (total >= w(1-1/alpha)) constrains u."""
+        w = 0.9 * (1.0 - 1e-3)
+        taskset = self._one_task(w)
+        platform = Platform.from_speeds(self.SPEEDS)
+        # machine 0 may now carry almost everything
+        lopsided = np.array([[w * 0.99, w * 0.01]])
+        assert verify_lemma_ii1(lopsided, taskset, platform, self.ALPHA)
+
+    def test_solver_output_passes_both_verifiers_near_threshold(self):
+        """End-to-end: LP solutions for boundary-engineered instances
+        satisfy check_lp_solution AND verify_lemma_ii1 under the shared
+        convention — the pairing that used to disagree."""
+        platform = Platform.from_speeds(self.SPEEDS)
+        for nudge in (-LP_TOL / 2, 0.0, LP_TOL / 2):
+            w = 0.9 * (1.0 + nudge)
+            taskset = TaskSet(
+                [Task.from_utilization(w, 10.0), Task.from_utilization(0.3, 20.0)]
+            )
+            sol = lp_solve(taskset, platform)
+            assert sol.feasible and sol.u is not None
+            assert check_lp_solution(sol.u, taskset, platform)
+            for alpha in (1.5, self.ALPHA, 3.0):
+                assert verify_lemma_ii1(sol.u, taskset, platform, alpha)
