@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from typing import Literal
 
-from ..core.bounds import rms_rta_feasible
+from ..core.bounds import _NeumaierSum, rms_rta_feasible
 from ..core.model import EPS, Platform, TaskSet, leq
 
 __all__ = [
@@ -56,7 +56,10 @@ def exact_partitioned_edf_feasible(
     if utils[0] > speeds[0] * (1.0 + EPS):
         return False
 
-    loads = [0.0] * m
+    # Neumaier accumulators: DFS backtracking adds and removes the same
+    # utilization many times; plain += would let the error grow with
+    # search depth and make the admission check depend on the visit order.
+    loads = [_NeumaierSum() for _ in range(m)]
     # suffix_total[i] = sum of utils[i:]
     suffix_total = [0.0] * (n + 1)
     for i in range(n - 1, -1, -1):
@@ -74,22 +77,22 @@ def exact_partitioned_edf_feasible(
             exhausted = True
             return False
         free = math.fsum(
-            max(0.0, speeds[j] - loads[j]) for j in range(m)
+            max(0.0, speeds[j] - loads[j].total) for j in range(m)
         )
         if suffix_total[i] > free * (1.0 + EPS):
             return False
         u = utils[i]
         tried: set[tuple[float, float]] = set()
         for j in range(m):
-            key = (speeds[j], loads[j])
+            key = (speeds[j], loads[j].total)
             if key in tried:
                 continue
             tried.add(key)
-            if leq(loads[j] + u, speeds[j]):
-                loads[j] += u
+            if leq(loads[j].peek(u), speeds[j]):
+                loads[j].add(u)
                 if dfs(i + 1):
                     return True
-                loads[j] -= u
+                loads[j].add(-u)
                 if exhausted:
                     return False
         return False
@@ -124,7 +127,7 @@ def exact_partitioned_rms_feasible(
         return False
 
     assigned: list[list[int]] = [[] for _ in range(m)]
-    loads = [0.0] * m
+    loads = [_NeumaierSum() for _ in range(m)]
     suffix_total = [0.0] * (n + 1)
     for i in range(n - 1, -1, -1):
         suffix_total[i] = suffix_total[i + 1] + utils[i]
@@ -140,7 +143,7 @@ def exact_partitioned_rms_feasible(
         if nodes > node_limit:
             exhausted = True
             return False
-        free = math.fsum(max(0.0, speeds[j] - loads[j]) for j in range(m))
+        free = math.fsum(max(0.0, speeds[j] - loads[j].total) for j in range(m))
         if suffix_total[i] > free * (1.0 + EPS):
             return False
         ti = order[i]
@@ -152,17 +155,17 @@ def exact_partitioned_rms_feasible(
                     continue
                 seen_empty_speed.add(speeds[j])
             # quick necessary condition before the expensive RTA
-            if not leq(loads[j] + task.utilization, speeds[j]):
+            if not leq(loads[j].peek(task.utilization), speeds[j]):
                 continue
             candidate = [taskset[t] for t in assigned[j]] + [task]
             if not rms_rta_feasible(candidate, speeds[j]):
                 continue
             assigned[j].append(ti)
-            loads[j] += task.utilization
+            loads[j].add(task.utilization)
             if dfs(i + 1):
                 return True
             assigned[j].pop()
-            loads[j] -= task.utilization
+            loads[j].add(-task.utilization)
             if exhausted:
                 return False
         return False

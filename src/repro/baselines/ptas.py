@@ -38,6 +38,7 @@ import math
 from dataclasses import dataclass
 from functools import lru_cache
 
+from ..core.bounds import _NeumaierSum
 from ..core.model import EPS, Platform, TaskSet, leq
 
 __all__ = ["PTASResult", "ptas_feasibility_test"]
@@ -93,7 +94,7 @@ def ptas_feasibility_test(
         )
 
     grain = eps * s_min
-    sand = [i for i in range(n) if taskset[i].utilization <= grain * (1.0 + EPS)]
+    sand = [i for i in range(n) if leq(taskset[i].utilization, grain)]
     big = [i for i in range(n) if i not in set(sand)]
 
     # Round big items down onto the geometric grid grain * (1+eps)^k.
@@ -188,22 +189,22 @@ def ptas_feasibility_test(
     # Materialize the big-item assignment.
     assignment: list[int] = [-1] * n
     pools = {v: list(rounded[v]) for v in sizes}
-    loads = [0.0] * m
+    loads = [_NeumaierSum() for _ in range(m)]
     for pos, vec in enumerate(plan):
         machine = machine_order[pos]
         for ci, take in enumerate(vec):
             for _ in range(take):
                 i = pools[sizes[ci]].pop()
                 assignment[i] = machine
-                loads[machine] += taskset[i].utilization
+                loads[machine].add(taskset[i].utilization)
 
     # Pour the sand: fill machines to their (1+eps) capacity greedily.
     for i in sand:
         u = taskset[i].utilization
         placed = False
         for j in range(m):
-            if leq(loads[j] + u, (1.0 + eps) * speeds[j]):
-                loads[j] += u
+            if leq(loads[j].peek(u), (1.0 + eps) * speeds[j]):
+                loads[j].add(u)
                 assignment[i] = j
                 placed = True
                 break

@@ -9,6 +9,7 @@ Commands
 ``constants``   verify / re-optimize the proof constants
 ``serve``       run the feasibility-query HTTP service (repro.service)
 ``fuzz``        differential-fuzz the oracle invariant lattice (repro.oracle)
+``lint``        run the reproducibility linter (repro.lint, rules REP001-REP006)
 ``list``        list available experiments
 """
 
@@ -222,6 +223,21 @@ def build_parser() -> argparse.ArgumentParser:
             "harness catches and shrinks it"
         ),
     )
+
+    p = sub.add_parser(
+        "lint",
+        help="run the reproducibility linter (rules REP001-REP006)",
+        description=(
+            "AST-based static analysis for the repository's numerical and "
+            "determinism discipline: tolerance-helper comparisons, seeded "
+            "randomness, monotonic clocks, compensated accumulation, "
+            "ordered iteration, and service lock discipline. See "
+            "docs/lint.md for the rule catalogue."
+        ),
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
 
     sub.add_parser("list", help="list available experiments")
     return parser
@@ -465,6 +481,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for eid, title in all_experiments().items():
         print(f"{eid}  {title}")
@@ -481,6 +503,7 @@ _HANDLERS = {
     "slack": _cmd_slack,
     "serve": _cmd_serve,
     "fuzz": _cmd_fuzz,
+    "lint": _cmd_lint,
     "list": _cmd_list,
 }
 

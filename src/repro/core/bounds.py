@@ -135,11 +135,13 @@ class _NeumaierSum:
         self._comp = 0.0
 
     def add(self, x: float) -> None:
+        # the compensated accumulator is the primitive REP004 points at;
+        # its own error-term updates are the one legitimate bare +=
         s = self._sum + x
         if abs(self._sum) >= abs(x):
-            self._comp += (self._sum - s) + x
+            self._comp += (self._sum - s) + x  # repro: noqa[REP004]
         else:
-            self._comp += (x - s) + self._sum
+            self._comp += (x - s) + self._sum  # repro: noqa[REP004]
         self._sum = s
 
     def peek(self, x: float) -> float:

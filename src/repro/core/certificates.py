@@ -84,7 +84,7 @@ def classify_machines(
     for j, m in enumerate(platform):
         if m.speed < s_s * (1.0 - EPS):
             slow.append(j)
-        elif m.speed >= s_f * (1.0 - EPS):
+        elif geq(m.speed, s_f):
             fast.append(j)
         else:
             medium.append(j)

@@ -42,6 +42,8 @@ from typing import Literal
 
 import numpy as np
 
+from .model import geq
+
 __all__ = [
     "SQRT2",
     "LN2",
@@ -239,7 +241,7 @@ def slow_case_slack(
         f_f = 0.0
     else:
         f_f = _min_f_f(alpha, c_f, f_w, scheduler)
-        if f_f >= 1.0:
+        if geq(f_f, 1.0):
             return -math.inf
     fim = f_im(alpha, c_s, f_f)
     med = _med_coeff(scheduler)

@@ -30,7 +30,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .bounds import AdmissionTest, MachineState
+from .bounds import AdmissionTest, MachineState, _NeumaierSum
 from .model import EPS, Task, leq
 
 __all__ = [
@@ -165,7 +165,7 @@ class _DemandProfile:
     def _horizon(self, speed: float) -> float | None:
         if self.total_u > speed * (1.0 + EPS):
             return None
-        if self.slack_numerator <= EPS:
+        if leq(self.slack_numerator, 0.0):
             return self.d_max
         slack = speed - self.total_u
         la = self.slack_numerator / slack if slack > EPS * speed else math.inf
@@ -239,12 +239,15 @@ def demand_points(
     """
     points: set[float] = set()
     for task in tasks:
-        t = task.deadline
+        # step points are generated multiplicatively (d + k*p), not by a
+        # running t += p: the additive walk accretes one rounding error
+        # per step and can drift off the true grid over long horizons
         count = 0
-        while t <= horizon * (1.0 + EPS):
+        t = task.deadline
+        while leq(t, horizon):
             points.add(t)
-            t += task.period
             count += 1
+            t = task.deadline + count * task.period
             if len(points) > max_points:
                 raise RuntimeError(
                     f"more than {max_points} demand points up to {horizon}; "
@@ -352,18 +355,18 @@ class _DBFState(MachineState):
     def __init__(self, speed: float):
         super().__init__(speed)
         self._tasks: list[Task] = []
-        self._load = 0.0
+        self._load = _NeumaierSum()
 
     def admits(self, task: Task) -> bool:
         return qpa_edf_feasible(self._tasks + [task], self.speed)
 
     def add(self, task: Task) -> None:
         self._tasks.append(task)
-        self._load += task.utilization
+        self._load.add(task.utilization)
 
     @property
     def load(self) -> float:
-        return self._load
+        return self._load.total
 
     @property
     def count(self) -> int:

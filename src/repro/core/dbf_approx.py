@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from .bounds import ADMISSION_TESTS, AdmissionTest, MachineState
+from .bounds import ADMISSION_TESTS, AdmissionTest, MachineState, _NeumaierSum
 from .dbf import dbf
 from .model import EPS, Task, leq
 
@@ -94,7 +94,7 @@ class _ApproxState(MachineState):
     def __init__(self, speed: float, k: int):
         super().__init__(speed)
         self._tasks: list[Task] = []
-        self._load = 0.0
+        self._load = _NeumaierSum()
         self._k = k
 
     def admits(self, task: Task) -> bool:
@@ -104,11 +104,11 @@ class _ApproxState(MachineState):
 
     def add(self, task: Task) -> None:
         self._tasks.append(task)
-        self._load += task.utilization
+        self._load.add(task.utilization)
 
     @property
     def load(self) -> float:
-        return self._load
+        return self._load.total
 
     @property
     def count(self) -> int:

@@ -76,7 +76,7 @@ class LPSolution:
 
     @property
     def feasible(self) -> bool:
-        return self.stress <= 1.0 + LP_TOL
+        return bool(tol_leq(self.stress, 1.0))
 
 
 def _necessary_conditions(taskset: TaskSet, platform: Platform) -> bool:

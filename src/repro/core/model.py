@@ -38,7 +38,8 @@ EPS: float = 1e-9
 
 def leq(a: float, b: float, *, eps: float = EPS) -> bool:
     """Tolerant ``a <= b`` (relative to magnitude, absolute near zero)."""
-    return a <= b + eps * max(1.0, abs(a), abs(b))
+    # the tolerance helper itself is the one place a bare <= is the point
+    return a <= b + eps * max(1.0, abs(a), abs(b))  # repro: noqa[REP001]
 
 
 def geq(a: float, b: float, *, eps: float = EPS) -> bool:
@@ -105,7 +106,10 @@ class Task:
     @property
     def is_implicit(self) -> bool:
         """Does the deadline equal the period (the paper's model)?"""
-        return self.deadline == self.period
+        # exact equality is intentional: both fields come from the same
+        # construction (from_utilization copies period into deadline), so
+        # this is a structural predicate, not an arithmetic comparison
+        return self.deadline == self.period  # repro: noqa[REP001]
 
     @classmethod
     def from_utilization(

@@ -1,0 +1,60 @@
+"""``repro.lint`` — AST-based reproducibility lint for this codebase.
+
+A ``ruff``-style static analyzer whose rules encode the numerical- and
+determinism-discipline invariants the repository's empirical methodology
+depends on (bit-reproducible acceptance-ratio campaigns, tolerance-
+unified feasibility verdicts, lock-disciplined service state).  Every
+rule is grounded in a bug class this repo has actually had; see
+``docs/lint.md`` for the catalogue.
+
+Layers
+------
+:mod:`~repro.lint.findings`
+    The :class:`~repro.lint.findings.Finding` record and its
+    baseline fingerprint.
+:mod:`~repro.lint.typeinfer`
+    Heuristic per-scope type inference (float / float-sequence / set)
+    that the rules query instead of guessing from spellings.
+:mod:`~repro.lint.registry`
+    The rule protocol and the ``REPxxx`` registry.
+:mod:`~repro.lint.rules`
+    The six domain rules, REP001-REP006.
+:mod:`~repro.lint.noqa`
+    ``# repro: noqa[REPxxx]`` line suppressions and
+    ``# repro: noqa-file[REPxxx]`` file pragmas, with unused-suppression
+    tracking.
+:mod:`~repro.lint.baseline`
+    The committed grandfather file (snippet-fingerprinted so findings
+    survive line drift, and stale entries are reported rather than
+    rotting silently).
+:mod:`~repro.lint.engine`
+    Orchestration: walk files, parse, infer, run rules, apply
+    suppressions and the baseline.
+:mod:`~repro.lint.reporters`
+    text / JSON / SARIF 2.1.0 output.
+:mod:`~repro.lint.selftest`
+    Fault injection: plant one violation per rule, assert it is caught
+    at the right file/line.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .config import LintConfig
+from .engine import LintResult, lint_paths, lint_source
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule
+from .selftest import run_self_test
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "run_self_test",
+]

@@ -1,0 +1,131 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry matches a finding by :attr:`Finding.fingerprint` —
+``(path, rule, stripped source line)`` — so entries survive unrelated
+edits that shift line numbers but stop matching (and the finding
+resurfaces) as soon as the offending line itself changes.  Identical
+lines in one file are handled as a multiset: three identical baselined
+lines absorb at most three findings.
+
+Entries that matched nothing are *stale*; they are always counted in
+the summary and listed by ``--show-unused-noqa``, so the baseline can
+only shrink with the code, never rot past it.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    path: str
+    rule: str
+    snippet: str
+    #: line at capture time — informational only, never matched
+    line: int = 0
+    #: why this finding is accepted rather than fixed
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.snippet)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "path": self.path,
+            "rule": self.rule,
+            "snippet": self.snippet,
+            "line": self.line,
+        }
+        if self.reason:
+            out["reason"] = self.reason
+        return out
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: stale baseline entry [{self.rule}] {self.snippet!r}"
+
+
+class Baseline:
+    """A loaded baseline file, consumed as a fingerprint multiset."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries = list(entries)
+        self._pool: Counter[tuple[str, str, str]] = Counter(
+            e.fingerprint for e in self.entries
+        )
+        self._consumed: Counter[tuple[str, str, str]] = Counter()
+
+    # -- I/O ----------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text())
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(
+            BaselineEntry(
+                path=e["path"],
+                rule=e["rule"],
+                snippet=e["snippet"],
+                line=int(e.get("line", 0)),
+                reason=str(e.get("reason", "")),
+            )
+            for e in data["findings"]
+        )
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            BaselineEntry(
+                path=f.path, rule=f.rule, snippet=f.snippet, line=f.line
+            )
+            for f in sorted(findings)
+        )
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "findings": [e.as_dict() for e in sorted(self.entries, key=lambda e: (e.path, e.line, e.rule))],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    # -- matching -----------------------------------------------------------
+
+    def absorb(self, findings: list[Finding]) -> list[Finding]:
+        """Findings not covered by the baseline (consuming the pool)."""
+        kept: list[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint
+            if self._consumed[fp] < self._pool[fp]:
+                self._consumed[fp] += 1
+            else:
+                kept.append(finding)
+        return kept
+
+    @property
+    def stale(self) -> list[BaselineEntry]:
+        """Entries whose fingerprint matched fewer findings than listed."""
+        leftovers = self._pool - self._consumed
+        out: list[BaselineEntry] = []
+        seen: Counter[tuple[str, str, str]] = Counter()
+        for entry in self.entries:
+            fp = entry.fingerprint
+            if seen[fp] < leftovers[fp]:
+                seen[fp] += 1
+                out.append(entry)
+        return out

@@ -1,0 +1,124 @@
+"""``repro lint`` — the command-line entry point for :mod:`repro.lint`.
+
+Exit status: 0 when clean (modulo noqa + baseline), 1 when findings or
+parse errors remain (or, with ``--show-unused-noqa``, when unused
+suppressions / stale baseline entries exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .config import DEFAULT_BASELINE, config_from_sources
+from .engine import lint_paths
+from .reporters import FORMATS, render
+from .selftest import run_self_test
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` flags to an (sub)parser."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=[Path("src")],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATS),
+        default="text",
+        help="report format (sarif feeds GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="REPxxx",
+        default=None,
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="REPxxx",
+        default=None,
+        help="skip these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--show-unused-noqa",
+        action="store_true",
+        help=(
+            "list unused noqa suppressions and stale baseline entries, "
+            "and fail if any exist"
+        ),
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help=(
+            "fault injection: plant one violation per rule and verify "
+            "each is caught at the right file/line"
+        ),
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.self_test:
+        result = run_self_test()
+        print(result.summary())
+        return 0 if result.ok else 1
+
+    root = (args.root or Path.cwd()).resolve()
+    config = config_from_sources(
+        root,
+        select=tuple(args.select) if args.select else None,
+        ignore=tuple(args.ignore) if args.ignore else None,
+        baseline=args.baseline,
+        # a baseline never applies while capturing a new one
+        no_baseline=args.no_baseline or args.write_baseline is not None,
+        show_unused_noqa=args.show_unused_noqa,
+    )
+    try:
+        result = lint_paths(args.paths, config)
+    except KeyError as exc:
+        print(f"repro lint: unknown rule {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(result.findings).save(args.write_baseline)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    print(render(result, args.format, show_unused=args.show_unused_noqa))
+    return result.exit_code(fail_on_unused=args.show_unused_noqa)

@@ -1,0 +1,114 @@
+"""Lint configuration: CLI flags layered over ``[tool.repro-lint]``.
+
+``pyproject.toml`` may carry project defaults::
+
+    [tool.repro-lint]
+    select = ["REP001", "REP004"]   # default: every rule
+    ignore = ["REP005"]
+    baseline = "lint-baseline.json"
+
+    [tool.repro-lint.rules.REP003]
+    include = ["repro/experiments/", "repro/oracle/"]
+
+CLI flags override file values.  ``tomllib`` ships with Python 3.11+;
+on 3.10 the pyproject section is skipped (flags still work) — the
+repository pins nothing on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["LintConfig", "load_pyproject_config"]
+
+#: default baseline filename looked up next to the lint root
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    #: directory paths are resolved against (repo root in CI/tests)
+    root: Path = field(default_factory=Path.cwd)
+    #: rule ids to run (None = all registered)
+    select: tuple[str, ...] | None = None
+    #: rule ids to drop after selection
+    ignore: tuple[str, ...] | None = None
+    #: baseline file path, or None to run baseline-free
+    baseline_path: Path | None = None
+    #: per-rule include-path overrides (rule id → path fragments)
+    rule_paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: report unused noqa suppressions / stale baseline entries as errors
+    show_unused_noqa: bool = False
+
+    def include_for(self, rule_id: str) -> tuple[str, ...] | None:
+        return self.rule_paths.get(rule_id)
+
+
+def load_pyproject_config(root: Path) -> dict[str, Any]:
+    """``[tool.repro-lint]`` from ``root/pyproject.toml`` (or ``{}``).
+
+    Returns ``{}`` when the file or section is absent — and on Python
+    3.10, where stdlib ``tomllib`` does not exist (the section is a
+    convenience, not a correctness dependency).
+    """
+    pyproject = root / "pyproject.toml"
+    if not pyproject.is_file():
+        return {}
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10
+        return {}
+    try:
+        data = tomllib.loads(pyproject.read_text())
+    except tomllib.TOMLDecodeError:
+        return {}
+    section = data.get("tool", {}).get("repro-lint", {})
+    return section if isinstance(section, dict) else {}
+
+
+def config_from_sources(
+    root: Path,
+    *,
+    select: tuple[str, ...] | None = None,
+    ignore: tuple[str, ...] | None = None,
+    baseline: Path | None = None,
+    no_baseline: bool = False,
+    show_unused_noqa: bool = False,
+) -> LintConfig:
+    """Layer CLI arguments over the pyproject section."""
+    file_cfg = load_pyproject_config(root)
+    if select is None and isinstance(file_cfg.get("select"), list):
+        select = tuple(str(r) for r in file_cfg["select"])
+    if ignore is None and isinstance(file_cfg.get("ignore"), list):
+        ignore = tuple(str(r) for r in file_cfg["ignore"])
+    rule_paths: dict[str, tuple[str, ...]] = {}
+    rules_cfg = file_cfg.get("rules")
+    if isinstance(rules_cfg, dict):
+        for rid, sub in rules_cfg.items():
+            if isinstance(sub, dict) and isinstance(sub.get("include"), list):
+                rule_paths[str(rid)] = tuple(str(p) for p in sub["include"])
+    baseline_path: Path | None = None
+    if not no_baseline:
+        if baseline is not None:
+            baseline_path = baseline
+        else:
+            configured = file_cfg.get("baseline")
+            candidate = (
+                root / str(configured)
+                if isinstance(configured, str)
+                else root / DEFAULT_BASELINE
+            )
+            if candidate.is_file():
+                baseline_path = candidate
+    return LintConfig(
+        root=root,
+        select=select,
+        ignore=ignore,
+        baseline_path=baseline_path,
+        rule_paths=rule_paths,
+        show_unused_noqa=show_unused_noqa,
+    )

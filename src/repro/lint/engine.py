@@ -1,0 +1,149 @@
+"""Lint orchestration: walk → parse → infer → rules → noqa → baseline."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .config import LintConfig
+from .findings import Finding
+from .noqa import NoqaScanner, Suppression
+from .registry import FileContext, Rule, resolve_selection
+
+__all__ = ["LintResult", "lint_paths", "lint_source", "iter_python_files"]
+
+#: directories never descended into
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "node_modules", ".eggs", "build"}
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    #: findings still active after noqa + baseline
+    findings: list[Finding] = field(default_factory=list)
+    #: findings silenced by inline/file noqa comments
+    suppressed: int = 0
+    #: findings absorbed by the baseline
+    baselined: int = 0
+    #: noqa comments that matched nothing
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+    #: baseline entries that matched nothing
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    #: files that failed to parse: (path, message)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+    #: number of files linted
+    files: int = 0
+
+    def exit_code(self, *, fail_on_unused: bool = False) -> int:
+        if self.findings or self.parse_errors:
+            return 1
+        if fail_on_unused and (self.unused_suppressions or self.stale_baseline):
+            return 1
+        return 0
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Give every node a ``_repro_parent`` link (rules walk ancestry)."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._repro_parent = parent  # type: ignore[attr-defined]
+
+
+def iter_python_files(paths: Sequence[Path], root: Path) -> list[Path]:
+    """All ``.py`` files under ``paths`` (resolved against ``root``),
+    sorted for deterministic report order."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = raw if raw.is_absolute() else root / raw
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _check_file(
+    rel_path: str, source: str, rules: Iterable[Rule], config: LintConfig
+) -> tuple[list[Finding], NoqaScanner]:
+    """Raw findings for one file plus its noqa scanner (pre-baseline)."""
+    tree = ast.parse(source)
+    attach_parents(tree)
+    ctx = FileContext(rel_path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(rel_path, config.include_for(rule.id)):
+            continue
+        findings.extend(rule.check(ctx))
+    return sorted(findings), NoqaScanner(rel_path, source)
+
+
+def lint_source(
+    source: str,
+    virtual_path: str,
+    config: LintConfig | None = None,
+    *,
+    apply_noqa: bool = True,
+) -> list[Finding]:
+    """Lint a source string as if it lived at ``virtual_path``.
+
+    The backbone of the fixture tests and the fault-injection self-test:
+    rule path scoping applies to the virtual path, no filesystem or
+    baseline involved.
+    """
+    config = config or LintConfig()
+    rules = resolve_selection(config.select, config.ignore).values()
+    findings, scanner = _check_file(virtual_path, source, rules, config)
+    if apply_noqa:
+        findings = scanner.filter(findings)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    config: LintConfig | None = None,
+) -> LintResult:
+    """Lint files/directories and apply suppressions plus the baseline."""
+    config = config or LintConfig()
+    rules = list(resolve_selection(config.select, config.ignore).values())
+    result = LintResult()
+    baseline = (
+        Baseline.load(config.baseline_path)
+        if config.baseline_path is not None
+        else None
+    )
+    for path in iter_python_files([Path(p) for p in paths], config.root):
+        rel_path = _relpath(path, config.root)
+        try:
+            source = path.read_text(encoding="utf-8")
+            raw, scanner = _check_file(rel_path, source, rules, config)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.parse_errors.append((rel_path, str(exc)))
+            continue
+        result.files += 1
+        active = scanner.filter(raw)
+        result.suppressed += len(raw) - len(active)
+        if baseline is not None:
+            before = len(active)
+            active = baseline.absorb(active)
+            result.baselined += before - len(active)
+        result.findings.extend(active)
+        result.unused_suppressions.extend(scanner.unused)
+    if baseline is not None:
+        result.stale_baseline = baseline.stale
+    result.findings.sort()
+    return result

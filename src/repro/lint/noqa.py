@@ -1,0 +1,118 @@
+"""``# repro: noqa`` suppression comments.
+
+Two forms, scanned per file:
+
+* line suppression — ``# repro: noqa[REP001]`` (or ``# repro: noqa``
+  for every rule) on the offending line suppresses findings reported
+  on that physical line;
+* file pragma — ``# repro: noqa-file[REP001]`` (or bare
+  ``# repro: noqa-file``) anywhere in the file suppresses the rule(s)
+  for the whole file.
+
+Every suppression records whether it actually matched a finding;
+unused ones are surfaced by ``repro lint --show-unused-noqa`` so a
+suppression whose finding has since been fixed cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+__all__ = ["Suppression", "NoqaScanner"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?P<file>-file)?"
+    r"(?:\[(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\])?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed noqa comment."""
+
+    path: str
+    #: 1-based line the comment sits on
+    line: int
+    #: None means "all rules"
+    codes: tuple[str, ...] | None
+    #: file-wide pragma vs line suppression
+    file_level: bool
+    #: did any finding actually hit this suppression?
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding) -> bool:
+        if self.codes is not None and finding.rule not in self.codes:
+            return False
+        if self.file_level:
+            return True
+        return finding.line == self.line
+
+    def render(self) -> str:
+        scope = "file pragma" if self.file_level else "suppression"
+        codes = ", ".join(self.codes) if self.codes else "all rules"
+        return f"{self.path}:{self.line}: unused noqa {scope} [{codes}]"
+
+
+class NoqaScanner:
+    """Scan one file's source for suppressions and apply them."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.suppressions: list[Suppression] = []
+        # Tokenize rather than regex-scan raw lines: a docstring that
+        # merely *mentions* the suppression syntax must not suppress
+        # anything (only genuine comment tokens count).
+        for lineno, text in self._comments(source):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            codes_text = match.group("codes")
+            codes = (
+                tuple(c.strip() for c in codes_text.split(","))
+                if codes_text
+                else None
+            )
+            self.suppressions.append(
+                Suppression(
+                    path=path,
+                    line=lineno,
+                    codes=codes,
+                    file_level=match.group("file") is not None,
+                )
+            )
+
+    @staticmethod
+    def _comments(source: str) -> list[tuple[int, str]]:
+        """(lineno, text) of every ``#`` comment token in ``source``."""
+        out: list[tuple[int, str]] = []
+        try:
+            for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+                if tok.type == tokenize.COMMENT:
+                    out.append((tok.start[0], tok.string))
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            # the engine reports the parse error; nothing to suppress here
+            pass
+        return out
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        """Active findings after suppression; marks matched noqas used."""
+        kept: list[Finding] = []
+        for finding in findings:
+            suppressed = False
+            for supp in self.suppressions:
+                if supp.matches(finding):
+                    supp.used = True
+                    suppressed = True
+                    # keep checking: several noqas may cover one line and
+                    # all of them legitimately count as used
+            if not suppressed:
+                kept.append(finding)
+        return kept
+
+    @property
+    def unused(self) -> list[Suppression]:
+        return [s for s in self.suppressions if not s.used]

@@ -1,0 +1,183 @@
+"""Rule protocol, per-file context, and the ``REPxxx`` registry."""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from .findings import Finding
+from .typeinfer import TypeInference
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "resolve_selection",
+]
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    Built once per file by the engine: parsed tree with parent links
+    (``node._repro_parent``), source lines, import aliases, and the
+    type-inference pass.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.types = TypeInference(tree)
+        #: ``import numpy as np`` → {"np": "numpy"}
+        self.import_aliases: dict[str, str] = {}
+        #: ``from random import shuffle as sh`` → {"sh": ("random", "shuffle")}
+        self.from_imports: dict[str, tuple[str, str]] = {}
+        self._collect_imports()
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.from_imports[alias.asname or alias.name] = (
+                        node.module,
+                        alias.name,
+                    )
+
+    # -- helpers rules share ------------------------------------------------
+
+    def snippet(self, line: int) -> str:
+        """Stripped source text of a 1-based line (fingerprint input)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=self.path,
+            line=line,
+            col=col,
+            rule=rule.id,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, innermost first."""
+        cur = getattr(node, "_repro_parent", None)
+        while cur is not None:
+            yield cur
+            cur = getattr(cur, "_repro_parent", None)
+
+    def resolves_to(self, node: ast.expr, module: str, name: str) -> bool:
+        """Does ``node`` denote ``module.name`` under this file's imports?
+
+        Matches both the attribute form (``time.time`` with ``import
+        time``, including aliases) and the from-import form (``from time
+        import time``).
+        """
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            target = self.import_aliases.get(node.value.id)
+            if target == module and node.attr == name:
+                return True
+        if isinstance(node, ast.Name):
+            return self.from_imports.get(node.id) == (module, name)
+        return False
+
+
+class Rule(ABC):
+    """One lint rule.
+
+    Class attributes carry the registry metadata; :meth:`check` yields
+    findings for one file.  ``default_paths`` scopes the rule: it runs
+    only on files whose posix path contains one of the fragments (an
+    empty tuple means every file).  Per-rule path overrides come from
+    :class:`~repro.lint.config.LintConfig`.
+    """
+
+    #: ``REPxxx`` identifier
+    id: str = ""
+    #: short kebab-case name (SARIF rule name, docs anchor)
+    name: str = ""
+    #: one-line summary (SARIF shortDescription)
+    summary: str = ""
+    #: rationale paragraph (SARIF fullDescription)
+    rationale: str = ""
+    #: path fragments this rule applies to; empty = everywhere
+    default_paths: tuple[str, ...] = ()
+    #: path fragments this rule never applies to
+    excluded_paths: tuple[str, ...] = ("tests/", "test_", "conftest")
+
+    @abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file."""
+
+    def applies_to(self, path: str, include: tuple[str, ...] | None = None) -> bool:
+        """Is ``path`` in this rule's scope (with optional override)?"""
+        for fragment in self.excluded_paths:
+            if fragment in path:
+                return False
+        paths = include if include is not None else self.default_paths
+        if not paths:
+            return True
+        return any(fragment in path for fragment in paths)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``id``) to the registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Registered rules by id, in id order (imports rule modules)."""
+    from . import rules  # noqa: F401 - registration side effect
+
+    return dict(sorted(_RULES.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    rules = all_rules()
+    try:
+        return rules[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(rules)}"
+        ) from None
+
+
+def resolve_selection(
+    select: tuple[str, ...] | None, ignore: tuple[str, ...] | None
+) -> dict[str, Rule]:
+    """Apply ``--select`` / ``--ignore`` to the registry.
+
+    ``select`` of ``None`` means "all rules"; ``ignore`` always wins.
+    Unknown ids raise ``KeyError`` so typos fail loudly rather than
+    silently linting nothing.
+    """
+    rules = all_rules()
+    known = set(rules)
+    for rid in (select or ()) + (ignore or ()):
+        if rid not in known:
+            raise KeyError(f"unknown rule {rid!r}; known: {sorted(known)}")
+    chosen = dict(rules) if select is None else {r: rules[r] for r in select}
+    for rid in ignore or ():
+        chosen.pop(rid, None)
+    return chosen

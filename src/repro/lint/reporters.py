@@ -1,0 +1,138 @@
+"""Render a :class:`LintResult` as text, JSON, or SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+from .registry import all_rules
+
+__all__ = ["render", "render_text", "render_json", "render_sarif", "FORMATS"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+_TOOL_VERSION = "1.0.0"
+_INFO_URI = "https://github.com/repro/repro/blob/main/docs/lint.md"
+
+
+def render_text(result: LintResult, *, show_unused: bool = False) -> str:
+    lines: list[str] = []
+    for path, message in result.parse_errors:
+        lines.append(f"{path}: parse error: {message}")
+    for finding in result.findings:
+        lines.append(finding.render())
+    if show_unused:
+        for supp in result.unused_suppressions:
+            lines.append(supp.render())
+        for entry in result.stale_baseline:
+            lines.append(entry.render())
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+        f" ({result.suppressed} suppressed, {result.baselined} baselined"
+    )
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr(y/ies)"
+    if result.unused_suppressions:
+        summary += f", {len(result.unused_suppressions)} unused noqa(s)"
+    summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "files": result.files,
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "unused_suppressions": [
+            {
+                "path": s.path,
+                "line": s.line,
+                "codes": list(s.codes) if s.codes else None,
+                "file_level": s.file_level,
+            }
+            for s in result.unused_suppressions
+        ],
+        "stale_baseline": [e.as_dict() for e in result.stale_baseline],
+        "parse_errors": [
+            {"path": p, "message": m} for p, m in result.parse_errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 for GitHub code scanning upload."""
+    rules = list(all_rules().values())
+    rule_index = {rule.id: i for i, rule in enumerate(rules)}
+    results = []
+    for finding in result.findings:
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "ruleIndex": rule_index.get(finding.rule, -1),
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": finding.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": max(1, finding.col + 1),
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": _TOOL_VERSION,
+                        "informationUri": _INFO_URI,
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "name": rule.name,
+                                "shortDescription": {"text": rule.summary},
+                                "fullDescription": {"text": rule.rationale},
+                                "defaultConfiguration": {"level": "error"},
+                                "helpUri": f"{_INFO_URI}#{rule.id.lower()}",
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+FORMATS = {
+    "text": render_text,
+    "json": lambda result, **_: render_json(result),
+    "sarif": lambda result, **_: render_sarif(result),
+}
+
+
+def render(result: LintResult, fmt: str, *, show_unused: bool = False) -> str:
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(f"unknown lint format {fmt!r}") from None
+    return renderer(result, show_unused=show_unused)

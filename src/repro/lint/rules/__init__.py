@@ -1,0 +1,21 @@
+"""The REP rule set.  Importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401 - registration side effects
+    rep001_float_compare,
+    rep002_randomness,
+    rep003_wallclock,
+    rep004_accumulation,
+    rep005_unordered,
+    rep006_lock_discipline,
+)
+
+__all__ = [
+    "rep001_float_compare",
+    "rep002_randomness",
+    "rep003_wallclock",
+    "rep004_accumulation",
+    "rep005_unordered",
+    "rep006_lock_discipline",
+]

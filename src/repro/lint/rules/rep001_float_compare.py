@@ -1,0 +1,105 @@
+"""REP001 — bare float comparison in verdict-bearing modules.
+
+Feasibility conditions in this repo are closed inequalities whose
+verdicts must not flip on floating-point noise; every such comparison
+must go through :func:`repro.core.model.leq`/``geq``/``close`` or the
+LP-side :func:`repro.core.lp.tol_leq`/``tol_geq``.  PR 3's fuzzing
+campaign caught raw comparisons bypassing the helpers (the hyperbolic
+early exit in ``core/bounds.py``, LP-side checks in ``core/lp.py``) —
+this rule catches the pattern statically.
+
+Flagged: ``<=`` / ``>=`` / ``==`` where both operands infer as floats
+(including hand-rolled ``x <= y * (1.0 + EPS)`` tolerances, which the
+repo unifies on the helpers).  Exempt:
+
+* comparisons against a zero or integer literal (sign tests and
+  sentinels, which the tolerance helpers do not address);
+* the test of an ``if`` whose body is a single ``raise`` (argument
+  validation, not a feasibility verdict);
+* ``assert`` conditions (crash-on-violation invariants).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["BareFloatComparison"]
+
+_FLAGGED_OPS = (ast.LtE, ast.GtE, ast.Eq)
+
+_OP_TEXT = {ast.LtE: "<=", ast.GtE: ">=", ast.Eq: "=="}
+
+
+def _is_exempt_literal(node: ast.expr) -> bool:
+    """Zero or integer literals: sign/sentinel tests, not boundaries."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return True  # covers booleans too; fine either way
+    if isinstance(node, ast.Constant) and node.value == 0.0:
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_exempt_literal(node.operand)
+    return False
+
+
+def _guards_raise(ctx: FileContext, node: ast.Compare) -> bool:
+    """Is this comparison (part of) an ``if``-test guarding a raise?"""
+    cur: ast.AST = node
+    for parent in ctx.parents(node):
+        if isinstance(parent, ast.If) and cur is parent.test:
+            return len(parent.body) == 1 and isinstance(parent.body[0], ast.Raise)
+        if isinstance(parent, ast.Assert):
+            return True
+        if isinstance(parent, (ast.BoolOp, ast.UnaryOp)):
+            cur = parent
+            continue
+        break
+    return False
+
+
+@register
+class BareFloatComparison(Rule):
+    id = "REP001"
+    name = "bare-float-comparison"
+    summary = (
+        "Raw <=/>=/== between float expressions; use leq/geq/close or "
+        "tol_leq/tol_geq"
+    )
+    rationale = (
+        "Schedulability conditions are closed inequalities; a raw float "
+        "comparison can flip a boundary instance on rounding noise and "
+        "make two oracles disagree about the same instance.  All "
+        "verdict-bearing comparisons go through the tolerance helpers "
+        "so every module agrees on what 'on the boundary' means."
+    )
+    default_paths = ("repro/core/", "repro/baselines/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                if not isinstance(op, _FLAGGED_OPS):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_exempt_literal(left) or _is_exempt_literal(right):
+                    continue
+                if not (ctx.types.is_float(left) and ctx.types.is_float(right)):
+                    continue
+                if _guards_raise(ctx, node):
+                    continue
+                op_text = _OP_TEXT[type(op)]
+                helper = "close" if isinstance(op, ast.Eq) else (
+                    "leq" if isinstance(op, ast.LtE) else "geq"
+                )
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"bare float comparison `{op_text}`; route through "
+                    f"`{helper}` (or `tol_leq`/`tol_geq` on the LP side) "
+                    "so boundary verdicts cannot flip on rounding noise",
+                )

@@ -1,0 +1,118 @@
+"""REP002 — unseeded or global-state randomness outside tests.
+
+Every random stream in this repo derives from an explicit per-trial
+seed (the crc32 trial-seed digest of PR 1); acceptance-ratio campaigns
+are bit-reproducible only because no code path touches an unseeded or
+process-global generator.  Flagged anywhere outside tests:
+
+* ``np.random.default_rng()`` with no seed argument;
+* ``np.random.seed(...)`` and the legacy global-state module functions
+  (``np.random.random``, ``np.random.randint``, ...);
+* ``random.*`` module functions (``random.random``, ``random.shuffle``,
+  ...), including names imported from the ``random`` module.
+
+``default_rng(seed)``, ``SeedSequence(...)``, ``Generator(...)`` and
+``PCG64(...)`` with explicit arguments are the blessed constructions
+and pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["UnseededRandomness"]
+
+#: numpy.random attributes that are fine *with* arguments.
+_SEEDABLE = frozenset({"default_rng", "SeedSequence", "Generator", "PCG64"})
+
+
+def _numpy_random_attr(ctx: FileContext, func: ast.expr) -> str | None:
+    """``np.random.<attr>`` / ``numpy.random.<attr>`` → attr name."""
+    if not isinstance(func, ast.Attribute):
+        return None
+    value = func.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and ctx.import_aliases.get(value.value.id) == "numpy"
+    ):
+        return func.attr
+    # `from numpy import random` / `from numpy import random as npr`
+    if isinstance(value, ast.Name) and ctx.from_imports.get(value.id) == (
+        "numpy",
+        "random",
+    ):
+        return func.attr
+    return None
+
+
+def _random_module_attr(ctx: FileContext, func: ast.expr) -> str | None:
+    """``random.<attr>`` (stdlib) → attr name, or from-imported name."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and ctx.import_aliases.get(func.value.id) == "random"
+    ):
+        return func.attr
+    if isinstance(func, ast.Name):
+        origin = ctx.from_imports.get(func.id)
+        if origin is not None and origin[0] == "random":
+            return origin[1]
+    return None
+
+
+@register
+class UnseededRandomness(Rule):
+    id = "REP002"
+    name = "unseeded-randomness"
+    summary = (
+        "Unseeded default_rng() or global-state random API; thread an "
+        "explicitly seeded Generator instead"
+    )
+    rationale = (
+        "Campaign results must be bit-identical across runs and across "
+        "--jobs values.  Unseeded generators seed from the OS; the "
+        "stdlib `random` module and `np.random.seed` mutate process-"
+        "global state that parallel workers and import order can "
+        "perturb.  All randomness flows from explicit per-trial seeds."
+    )
+    default_paths = ()  # everywhere outside tests
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            np_attr = _numpy_random_attr(ctx, node.func)
+            if np_attr is not None:
+                if np_attr in _SEEDABLE:
+                    if not node.args and not node.keywords:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"`np.random.{np_attr}()` without a seed draws "
+                            "OS entropy; pass an explicit seed (derive it "
+                            "from the campaign's trial-seed digest)",
+                        )
+                else:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"global-state `np.random.{np_attr}(...)`; use an "
+                        "explicitly seeded `np.random.default_rng(seed)` "
+                        "Generator instead",
+                    )
+                continue
+            rand_attr = _random_module_attr(ctx, node.func)
+            if rand_attr is not None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"stdlib `random.{rand_attr}(...)` uses hidden global "
+                    "state; use an explicitly seeded "
+                    "`np.random.default_rng(seed)` Generator instead",
+                )

@@ -1,0 +1,101 @@
+"""REP003 — wall-clock reads inside reproducible paths.
+
+Experiment, oracle, and runner code produce artifacts (tables, seeds,
+counterexample files) that must be bit-identical across reruns; a
+``time.time()`` or ``datetime.now()`` anywhere in those paths leaks the
+wall clock into results or seed derivation.  Duration *measurement*
+(``perf_counter``, ``process_time``, ``monotonic``) is explicitly
+allowed — telemetry goes to stderr and never into result rows.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["WallClockRead"]
+
+#: (module, function) pairs that read the wall clock.
+_WALL_CLOCK = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "ctime"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+
+
+@register
+class WallClockRead(Rule):
+    id = "REP003"
+    name = "wall-clock-read"
+    summary = (
+        "Wall-clock read in a reproducible path; results and seeds must "
+        "not depend on when the code runs"
+    )
+    rationale = (
+        "Campaign artifacts are compared bit-for-bit across reruns and "
+        "across --jobs values.  A wall-clock read that reaches a result "
+        "row, a digest, or a seed makes two identical runs disagree.  "
+        "Monotonic duration clocks (perf_counter/process_time) remain "
+        "allowed for stderr telemetry."
+    )
+    default_paths = (
+        "repro/experiments/",
+        "repro/oracle/",
+        "repro/runner/",
+        "repro/workloads/",
+        "repro/io_/",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for module, name in _WALL_CLOCK:
+                if ctx.resolves_to(node.func, module, name):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"wall-clock read `{module}.{name}()` in a "
+                        "reproducible path; derive timestamps from inputs "
+                        "(or keep duration telemetry on perf_counter and "
+                        "off the result path)",
+                    )
+                    break
+                # the datetime/date classes, spelled either through the
+                # module (datetime.datetime.now()) or via from-import
+                # (from datetime import datetime; datetime.now())
+                through_module = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == name
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == module
+                    and isinstance(node.func.value.value, ast.Name)
+                    and ctx.import_aliases.get(node.func.value.value.id)
+                    == "datetime"
+                )
+                from_imported_class = (
+                    module in ("datetime", "date")
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == name
+                    and isinstance(node.func.value, ast.Name)
+                    and ctx.from_imports.get(node.func.value.id)
+                    == ("datetime", module)
+                )
+                if through_module or from_imported_class:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"wall-clock read `datetime.{module}.{name}()` in "
+                        "a reproducible path; derive timestamps from "
+                        "inputs instead",
+                    )
+                    break

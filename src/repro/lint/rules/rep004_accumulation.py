@@ -1,0 +1,93 @@
+"""REP004 — bare ``+=`` float accumulation where compensation is required.
+
+PR 3's fuzzer caught the incremental admission states drifting from the
+one-shot ``math.fsum`` path because per-machine loads accumulated with
+plain ``+=`` — enough noise on a boundary instance to make the
+partitioner and ``verify_partition`` disagree.  The fix is
+:class:`repro.core.bounds._NeumaierSum` (incremental) or ``math.fsum``
+(one-shot).  This rule flags the pattern statically in ``core/`` and
+``baselines/``:
+
+* ``x += <float>`` lexically inside a ``for``/``while`` loop, and
+* ``self._x += <float>`` anywhere (an accumulator fed across method
+  calls — exactly the admission-state shape).
+
+Integer counters (``count += 1``) never trigger: the operand must infer
+as float.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["BareFloatAccumulation"]
+
+
+def _inside_loop(ctx: FileContext, node: ast.AST) -> bool:
+    for parent in ctx.parents(node):
+        if isinstance(parent, (ast.For, ast.While)):
+            return True
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False
+    return False
+
+
+def _is_self_state(target: ast.expr) -> bool:
+    """``self._x`` or ``self._x[...]`` targets."""
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    return (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+        and target.attr.startswith("_")
+    )
+
+
+@register
+class BareFloatAccumulation(Rule):
+    id = "REP004"
+    name = "bare-float-accumulation"
+    summary = (
+        "Plain += float accumulation; use _NeumaierSum (incremental) or "
+        "math.fsum (one-shot)"
+    )
+    rationale = (
+        "Plain running sums drift from the exactly-rounded fsum path by "
+        "O(n) rounding errors; on a boundary instance that is enough to "
+        "flip an admission verdict and make the incremental and one-shot "
+        "evaluation paths disagree.  Neumaier compensation keeps the "
+        "running total within one rounding of the exact sum."
+    )
+    default_paths = ("repro/core/", "repro/baselines/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AugAssign):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            value_float = ctx.types.is_float(node.value)
+            target_float = ctx.types.is_float(node.target)
+            if not (value_float or target_float):
+                continue
+            if _is_self_state(node.target):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "float accumulator state updated with bare "
+                    "`+=`; use `_NeumaierSum.add` so the incremental "
+                    "total cannot drift from the one-shot fsum path",
+                )
+            elif _inside_loop(ctx, node):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare `+=` float accumulation in a loop; compute the "
+                    "total with `math.fsum` (or a `_NeumaierSum`) so the "
+                    "result is exactly rounded and order-independent",
+                )

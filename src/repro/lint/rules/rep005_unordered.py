@@ -1,0 +1,119 @@
+"""REP005 — iteration over unordered collections without ``sorted``.
+
+Set iteration order depends on hash values — and for strings on the
+process's hash seed — so a ``for`` loop or comprehension over a set
+that feeds serialization, digests, or seed derivation produces
+different artifacts on different runs.  Dicts preserve insertion order
+in Python 3.7+ and are not flagged; filesystem listings
+(``os.listdir``, ``Path.iterdir``, ``glob``) return OS-dependent order
+and are.
+
+Exempt: sets consumed by order-insensitive reducers — ``sorted``,
+``min``, ``max``, ``len``, ``any``, ``all``, ``set``, ``frozenset``,
+``math.fsum`` (exactly rounded, hence order-independent; plain ``sum``
+is *not* exempt for floats).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["UnorderedIteration"]
+
+#: bare-name reducers whose result does not depend on iteration order.
+_ORDER_FREE = frozenset(
+    {"sorted", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+#: filesystem-listing calls with OS-dependent order.
+_FS_LISTING = (("os", "listdir"), ("os", "scandir"), ("glob", "glob"), ("glob", "iglob"))
+
+
+def _consumed_order_free(node: ast.AST) -> bool:
+    """Is ``node`` the direct argument of an order-insensitive reducer?
+
+    Covers ``sorted(x for x in seen)`` — the comprehension's order leak
+    is neutralized by the reducer it feeds.
+    """
+    parent = getattr(node, "_repro_parent", None)
+    if not isinstance(parent, ast.Call) or node not in parent.args:
+        return False
+    func = parent.func
+    if isinstance(func, ast.Name) and func.id in _ORDER_FREE:
+        return True
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "fsum"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "math"
+    ):
+        return True
+    return False
+
+
+def _iter_sources(node: ast.AST) -> Iterator[ast.expr]:
+    """Iteration sources of for-loops and comprehension clauses."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        for gen in node.generators:
+            yield gen.iter
+
+
+@register
+class UnorderedIteration(Rule):
+    id = "REP005"
+    name = "unordered-iteration"
+    summary = (
+        "Iterating a set (or an OS directory listing) without sorted(); "
+        "order leaks into downstream artifacts"
+    )
+    rationale = (
+        "Set iteration order varies with hash seeding; directory "
+        "listings vary with the filesystem.  Anything they feed — JSON, "
+        "digests, derived seeds, accumulated floats — silently stops "
+        "being reproducible.  Wrap the source in sorted() with an "
+        "explicit key."
+    )
+    default_paths = ()  # determinism is a global property
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            for source in _iter_sources(node):
+                if ctx.types.is_set(source) and not _consumed_order_free(node):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "iteration over a set has hash-dependent order; "
+                        "iterate `sorted(<set>)` so downstream artifacts "
+                        "are reproducible",
+                    )
+                    continue
+                for module, name in _FS_LISTING:
+                    if isinstance(source, ast.Call) and ctx.resolves_to(
+                        source.func, module, name
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"`{module}.{name}()` returns OS-dependent "
+                            "order; wrap in `sorted(...)` before iterating",
+                        )
+                        break
+                else:
+                    if (
+                        isinstance(source, ast.Call)
+                        and isinstance(source.func, ast.Attribute)
+                        and source.func.attr in ("iterdir", "glob", "rglob")
+                    ):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"`Path.{source.func.attr}()` returns "
+                            "OS-dependent order; wrap in `sorted(...)` "
+                            "before iterating",
+                        )

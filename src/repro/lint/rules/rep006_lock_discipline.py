@@ -1,0 +1,153 @@
+"""REP006 — service state mutated outside a held lock.
+
+:mod:`repro.service` is the one concurrent subsystem: the HTTP server
+fans requests across threads, and the cache/metrics objects guard their
+``self._*`` state with one ``threading.Lock`` each.  A mutation that
+slips outside the ``with self._lock:`` block is a data race the test
+suite will almost never catch (races hide behind the GIL until a
+resize or preemption lands mid-update).  This rule enforces the
+discipline lexically:
+
+Flagged, inside any class in ``repro/service/``, outside ``__init__``:
+
+* assignments and ``+=``-style updates to ``self._x`` (or an element of
+  it), and
+* calls of known mutating methods (``append``, ``add``, ``pop``,
+  ``clear``, ``update``, ``move_to_end``, ``popitem``, ...) on
+  ``self._x``
+
+that are not lexically inside a ``with`` statement whose context
+expression mentions a lock attribute (any name containing ``lock``).
+``self._lock`` itself and ``__init__``/``__new__`` construction are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..registry import FileContext, Rule, register
+
+__all__ = ["UnlockedServiceMutation"]
+
+_MUTATORS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "observe",
+    }
+)
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _self_private_attr(node: ast.expr) -> str | None:
+    """``self._x`` (possibly behind a subscript) → ``_x``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith("_")
+    ):
+        return node.attr
+    return None
+
+
+def _mentions_lock(node: ast.expr) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
+            return True
+    return False
+
+
+def _context(ctx: FileContext, node: ast.AST) -> tuple[bool, bool, bool]:
+    """(in_class_method, in_exempt_method, under_lock) for ``node``."""
+    in_method = False
+    exempt = False
+    under_lock = False
+    seen_function = False
+    for parent in ctx.parents(node):
+        if isinstance(parent, ast.With) and any(
+            _mentions_lock(item.context_expr) for item in parent.items
+        ):
+            under_lock = True
+        if (
+            isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and not seen_function
+        ):
+            seen_function = True
+            if parent.name in _EXEMPT_METHODS:
+                exempt = True
+            grand = getattr(parent, "_repro_parent", None)
+            if isinstance(grand, ast.ClassDef):
+                in_method = True
+    return in_method, exempt, under_lock
+
+
+@register
+class UnlockedServiceMutation(Rule):
+    id = "REP006"
+    name = "unlocked-service-mutation"
+    summary = (
+        "self._* service state mutated outside a held threading.Lock "
+        "context"
+    )
+    rationale = (
+        "The feasibility service handles concurrent requests; cache and "
+        "metrics state is documented as lock-guarded.  A mutation "
+        "outside `with self._lock:` is a data race that stays invisible "
+        "under the GIL until a dict resize or thread preemption lands "
+        "mid-update and corrupts counters or evicts the wrong entry."
+    )
+    default_paths = ("repro/service/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            attr: str | None = None
+            kind = ""
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    attr = _self_private_attr(target)
+                    if attr is not None:
+                        break
+                kind = "assignment to"
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                attr = _self_private_attr(node.func.value)
+                kind = f"`.{node.func.attr}(...)` on"
+            if attr is None or "lock" in attr.lower():
+                continue
+            in_method, exempt, under_lock = _context(ctx, node)
+            if not in_method or exempt or under_lock:
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                f"{kind} `self.{attr}` outside a held lock; wrap the "
+                "mutation in `with self._lock:` (service state is "
+                "accessed from concurrent request threads)",
+            )

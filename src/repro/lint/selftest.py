@@ -1,0 +1,183 @@
+"""Fault-injection self-test: plant one violation per rule, confirm it fires.
+
+``repro lint --self-test`` (and the CI lint job) runs every registered
+rule against a tiny synthetic module that contains exactly one known
+violation at a known line, under a virtual path inside the rule's
+default scope.  If the rule reports anything other than exactly that
+``rule@line``, the analyzer itself is broken — a linter that silently
+stops firing is worse than no linter.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass, field
+
+from .config import LintConfig
+from .engine import lint_source
+from .registry import all_rules
+
+__all__ = ["PlantedCase", "SelfTestResult", "run_self_test", "PLANTED_CASES"]
+
+
+@dataclass(frozen=True)
+class PlantedCase:
+    """One synthetic module with a single known violation."""
+
+    rule: str
+    #: virtual path inside the rule's default scope
+    path: str
+    #: module source (dedented at construction)
+    source: str
+    #: 1-based line the violation must be reported on
+    line: int
+
+
+PLANTED_CASES: tuple[PlantedCase, ...] = (
+    PlantedCase(
+        rule="REP001",
+        path="src/repro/core/planted_rep001.py",
+        source=textwrap.dedent(
+            """\
+            def admit(utilization: float, capacity: float) -> bool:
+                slack = capacity - utilization
+                return utilization <= capacity
+            """
+        ),
+        line=3,
+    ),
+    PlantedCase(
+        rule="REP002",
+        path="src/repro/workloads/planted_rep002.py",
+        source=textwrap.dedent(
+            """\
+            import numpy as np
+
+
+            def draw():
+                rng = np.random.default_rng()
+                return rng.random()
+            """
+        ),
+        line=5,
+    ),
+    PlantedCase(
+        rule="REP003",
+        path="src/repro/experiments/planted_rep003.py",
+        source=textwrap.dedent(
+            """\
+            import time
+
+
+            def stamp() -> float:
+                return time.time()
+            """
+        ),
+        line=5,
+    ),
+    PlantedCase(
+        rule="REP004",
+        path="src/repro/core/planted_rep004.py",
+        source=textwrap.dedent(
+            """\
+            def total_load(utilizations):
+                load = 0.0
+                for u in utilizations:
+                    load += u
+                return load
+            """
+        ),
+        line=4,
+    ),
+    PlantedCase(
+        rule="REP005",
+        path="src/repro/io_/planted_rep005.py",
+        source=textwrap.dedent(
+            """\
+            def digest_ids(task_ids: set):
+                out = []
+                for tid in task_ids:
+                    out.append(tid)
+                return out
+            """
+        ),
+        line=3,
+    ),
+    PlantedCase(
+        rule="REP006",
+        path="src/repro/service/planted_rep006.py",
+        source=textwrap.dedent(
+            """\
+            class Cache:
+                def __init__(self):
+                    self._entries = {}
+
+                def put(self, key, value):
+                    self._entries[key] = value
+            """
+        ),
+        line=6,
+    ),
+)
+
+
+@dataclass
+class SelfTestResult:
+    """Outcome of the fault-injection pass."""
+
+    #: (case, human-readable problem) for every failed case
+    failures: list[tuple[PlantedCase, str]] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"self-test OK: all {self.checked} planted violations detected"
+        lines = [
+            f"self-test FAILED: {len(self.failures)}/{self.checked} planted "
+            "violations not detected correctly"
+        ]
+        for case, problem in self.failures:
+            lines.append(f"  {case.rule} @ {case.path}:{case.line}: {problem}")
+        return "\n".join(lines)
+
+
+def run_self_test() -> SelfTestResult:
+    """Plant one violation per rule and assert it is the only report."""
+    result = SelfTestResult()
+    config = LintConfig()  # every rule, no baseline, defaults only
+    covered = {case.rule for case in PLANTED_CASES}
+    uncovered = [rid for rid in all_rules() if rid not in covered]
+    for rid in uncovered:
+        result.failures.append(
+            (
+                PlantedCase(rule=rid, path="<missing>", source="", line=0),
+                "registered rule has no planted self-test case",
+            )
+        )
+    result.checked = len(PLANTED_CASES) + len(uncovered)
+    for case in PLANTED_CASES:
+        findings = lint_source(case.source, case.path, config)
+        hits = [
+            (f.rule, f.line)
+            for f in findings
+            if f.rule == case.rule and f.line == case.line
+        ]
+        extras = [
+            f"{f.rule}@{f.line}"
+            for f in findings
+            if (f.rule, f.line) != (case.rule, case.line)
+        ]
+        if not hits:
+            got = ", ".join(f"{f.rule}@{f.line}" for f in findings) or "nothing"
+            result.failures.append(
+                (case, f"expected {case.rule}@{case.line}, got {got}")
+            )
+        elif extras:
+            result.failures.append(
+                (case, f"unexpected extra findings: {', '.join(extras)}")
+            )
+    return result

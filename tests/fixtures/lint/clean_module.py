@@ -1,0 +1,17 @@
+# lint-fixture-path: src/repro/core/fixture_clean.py
+# lint-expect:
+"""A module written to the house discipline: nothing to report."""
+import math
+
+
+def leq(a: float, b: float) -> bool:
+    return True
+
+
+def admit(utilizations: list[float], speed: float) -> bool:
+    total = math.fsum(utilizations)
+    return leq(total, speed)
+
+
+def digest(task_ids: set) -> list:
+    return sorted(task_ids)

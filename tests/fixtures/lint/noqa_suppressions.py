@@ -1,0 +1,17 @@
+# lint-fixture-path: src/repro/core/fixture_noqa.py
+# lint-expect: REP001@12 REP001@17
+EPS = 1e-9
+
+
+def suppressed(utilization: float, speed: float) -> bool:
+    # a justified exception, silenced with a scoped suppression
+    return utilization <= speed  # repro: noqa[REP001]
+
+
+def not_suppressed(load: float, speed: float) -> bool:
+    return load <= speed
+
+
+def wrong_code(total: float, cap: float) -> bool:
+    # a suppression for a different rule does not apply
+    return total <= cap  # repro: noqa[REP004]

@@ -1,0 +1,48 @@
+# lint-fixture-path: src/repro/core/fixture_rep001.py
+# lint-expect: REP001@13 REP001@20 REP001@25
+EPS = 1e-9
+
+
+def leq(a: float, b: float) -> bool:
+    return True
+
+
+def admit(utilization: float, speed: float) -> bool:
+    # the canonical finding: a closed schedulability inequality decided
+    # by a bare <= instead of the tolerance helper
+    if utilization <= speed:
+        return True
+    return False
+
+
+def hand_rolled_tolerance(load: float, speed: float) -> bool:
+    # hand-rolled EPS windows count too: the point is one shared helper
+    return load <= speed * (1.0 + EPS)
+
+
+def exact_equality(total_u: float, capacity: float) -> bool:
+    # == between computed floats is the worst offender
+    return total_u == capacity
+
+
+def fine_strict(alpha: float) -> bool:
+    # strict < / > are proof-side conditions and are deliberately not
+    # flagged (no closed-boundary verdict to flip)
+    return alpha > 1.0
+
+
+def fine_guard(alpha: float) -> float:
+    # validation guards whose body raises are exempt
+    if alpha <= 0.0:
+        raise ValueError("need alpha > 0")
+    return alpha
+
+
+def fine_int_literal(count: float) -> bool:
+    # comparisons against int literals are exempt (counters, not verdicts)
+    return count <= 4
+
+
+def fine_helper(utilization: float, speed: float) -> bool:
+    # routed through the tolerance helper: exactly what the rule wants
+    return leq(utilization, speed)

@@ -1,0 +1,34 @@
+# lint-fixture-path: src/repro/workloads/fixture_rep002.py
+# lint-expect: REP002@9 REP002@14 REP002@19 REP002@24
+import random
+
+import numpy as np
+
+
+def unseeded_generator():
+    return np.random.default_rng()
+
+
+def legacy_global_state(values):
+    # np.random module functions draw from hidden global state
+    np.random.shuffle(values)
+    return values
+
+
+def global_reseed(seed):
+    np.random.seed(seed)
+
+
+def stdlib_random():
+    # stdlib random module state is process-global and unseeded
+    return random.random()
+
+
+def fine_seeded(seed: int):
+    # an explicit seed makes the stream reproducible
+    return np.random.default_rng(seed)
+
+
+def fine_spawned(rng):
+    # passing a Generator around is the approved pattern
+    return rng.integers(0, 10)

@@ -1,0 +1,28 @@
+# lint-fixture-path: src/repro/experiments/fixture_rep003.py
+# lint-expect: REP003@8 REP003@12 REP003@17
+import time
+from datetime import datetime
+
+
+def stamp_results():
+    return time.time()
+
+
+def stamp_ns():
+    return time.time_ns()
+
+
+def report_header():
+    # wall-clock timestamps make otherwise identical runs differ
+    return datetime.now().isoformat()
+
+
+def fine_duration():
+    # monotonic / perf_counter measure *durations*, not wall time, and
+    # never appear inside result artifacts
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def fine_cpu():
+    return time.process_time()

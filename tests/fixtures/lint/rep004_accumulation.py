@@ -1,0 +1,39 @@
+# lint-fixture-path: src/repro/core/fixture_rep004.py
+# lint-expect: REP004@10 REP004@17 REP004@27
+import math
+
+
+def plain_loop_sum(utilizations: list[float]) -> float:
+    total = 0.0
+    for u in utilizations:
+        # one rounding error per iteration, order-dependent result
+        total += u
+    return total
+
+
+class LoadState:
+    def bump(self, utilization: float) -> None:
+        # accumulator state fed one term at a time: _NeumaierSum territory
+        self._load += utilization
+
+
+def while_loop_drift(period: float, horizon: float) -> int:
+    count = 0
+    t = 0.0
+    while t < horizon:
+        count += 1  # int counter: not flagged
+        # additive stepping drifts off the true grid d + k*p;
+        # note the comment does not suppress the line below
+        t += period
+    return count
+
+
+def fine_fsum(utilizations: list[float]) -> float:
+    # the approved pattern: exactly rounded, order-independent
+    return math.fsum(utilizations)
+
+
+def fine_outside_loop(base: float, bonus: float) -> float:
+    # a single += outside any loop is one rounding, not an accumulation
+    base += bonus
+    return base

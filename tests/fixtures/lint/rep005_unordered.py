@@ -1,0 +1,33 @@
+# lint-fixture-path: src/repro/io_/fixture_rep005.py
+# lint-expect: REP005@8 REP005@16 REP005@21
+import os
+
+
+def serialize_ids(task_ids: set):
+    out = []
+    for tid in task_ids:
+        # set order varies with PYTHONHASHSEED: the serialized artifact
+        # is no longer byte-stable
+        out.append(tid)
+    return out
+
+
+def comprehension_over_set(names: set):
+    return [n.upper() for n in names]
+
+
+def listdir_into_digest(path):
+    lines = []
+    for entry in os.listdir(path):
+        lines.append(entry)
+    return lines
+
+
+def fine_sorted(task_ids: set):
+    # sorted() pins the order before anything observable consumes it
+    return [tid for tid in sorted(task_ids)]
+
+
+def fine_reduction(task_ids: set):
+    # order-free reductions cannot leak iteration order
+    return max(tid for tid in task_ids)

@@ -1,0 +1,31 @@
+# lint-fixture-path: src/repro/service/fixture_rep006.py
+# lint-expect: REP006@15 REP006@19 REP006@23
+import threading
+
+
+class Metrics:
+    def __init__(self):
+        # construction happens before the object is shared: exempt
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._entries = {}
+
+    def record_unlocked(self):
+        # a data race: request threads call this concurrently
+        self._hits += 1
+
+    def put_unlocked(self, key, value):
+        # subscript stores mutate the dict just the same
+        self._entries[key] = value
+
+    def evict_unlocked(self, key):
+        # mutating method calls on self._* state count too
+        self._entries.pop(key, None)
+
+    def record_locked(self):
+        with self._lock:
+            self._hits += 1
+
+    def snapshot(self):
+        # reads are the caller's problem; only mutations are flagged
+        return dict(self._entries)

@@ -311,3 +311,107 @@ class TestBoundaryAgreement:
                 [0.5, 0.5, 2.0 ** -52],  # one ulp over
             ):
                 self._assert_paths_agree(test, tasks_from_utils(utils), 1.0)
+
+
+class TestLintDrivenAccumulationFixes:
+    """Regressions for the REP001/REP004 findings `repro lint` flagged.
+
+    Each test pins one fix: the DFS backtracking accumulators in the
+    exact baselines, the incremental load state of the demand-bound
+    admission tests, the fsum'd RTA interference sum, the multiplicative
+    demand-point grid, and the LP feasibility predicate routed through
+    ``tol_leq``.  Where possible the instance is engineered so the
+    pre-fix code gives a *different* float, not just an uglier one.
+    """
+
+    def test_neumaier_backtracking_roundtrip(self):
+        """DFS-style add/remove cycles must not walk the total away.
+
+        ``1.0 + 1e-16`` absorbs (rounds back to 1.0) but ``1.0 - 1e-16``
+        does not, so a plain ``+=``/``-=`` pair drifts the load down one
+        ulp per probe; 1000 probes move it ~1e-13 — far beyond EPS of a
+        boundary admission check.  The compensated accumulator the exact
+        baselines now use must return to exactly 1.0.
+        """
+        from repro.core.bounds import _NeumaierSum
+
+        naive = 1.0
+        acc = _NeumaierSum()
+        acc.add(1.0)
+        for _ in range(1000):
+            acc.add(1e-16)
+            acc.add(-1e-16)
+            naive += 1e-16  # absorbed: stays 1.0
+            naive -= 1e-16  # not absorbed: lands one ulp below 1.0
+        assert naive != 1.0  # the bug this guards against
+        assert acc.total == 1.0
+
+    @pytest.mark.parametrize("name", ["edf-dbf", "edf-dbf-approx"])
+    def test_dbf_state_compensated_load(self, name):
+        """The demand-bound states' load tracking mirrors the fsum total
+        (they admitted via QPA but still tracked load with plain +=)."""
+        test = ADMISSION_TESTS[name]
+        state = test.open(2.0)
+        state.add(Task.from_utilization(1.0, 16.0))
+        tiny = Task.from_utilization(1e-16, 16.0)
+        for _ in range(500):
+            state.add(tiny)
+        expected = math.fsum([1.0] + [1e-16] * 500)
+        assert expected > 1.0  # plain += would report exactly 1.0
+        assert state.load == pytest.approx(expected, rel=1e-12)
+        assert state.load > 1.0
+
+    def test_exact_backtracking_boundary_instance(self):
+        """A dyadic instance solvable only in the exact packing: every
+        machine must be filled to precisely its speed, after the DFS has
+        probed (and backtracked from) the wrong arrangements first."""
+        from repro.baselines.exact import exact_partitioned_edf_feasible
+        from repro.core.model import Platform, TaskSet
+
+        tasks = tasks_from_utils([0.75, 0.5, 0.25, 0.25, 0.125, 0.125])
+        platform = Platform.from_speeds([1.0, 1.0])
+        assert exact_partitioned_edf_feasible(TaskSet(tasks), platform) is True
+        over = tasks_from_utils([0.75, 0.5, 0.25, 0.25, 0.125, 0.125 + 2**-20])
+        assert exact_partitioned_edf_feasible(TaskSet(over), platform) is False
+
+    def test_rta_interference_fsum(self):
+        """200 tiny higher-priority contributions of 1e-18 each: plain
+        ``+=`` absorbs all of them into the base response time 1.0; the
+        fsum'd interference sum must surface the collective 2e-16."""
+        from repro.core.rta import rms_response_times
+
+        tasks = [Task(wcet=1e-18, period=1.0) for _ in range(200)]
+        tasks.append(Task(wcet=1.0, period=10.0))
+        rt = rms_response_times(tasks, 1.0)
+        assert rt is not None
+        expected = math.fsum([1.0] + [1e-18] * 200)
+        assert expected > 1.0
+        assert rt[-1] == pytest.approx(expected, rel=1e-12)
+        assert rt[-1] > 1.0
+
+    def test_demand_points_exact_grid(self):
+        """Step points are generated as ``d + k*p`` directly; the old
+        additive walk (``t += p``) accretes one rounding per step and
+        drifts off the true grid for non-representable periods."""
+        from repro.core.dbf import demand_points
+
+        p = 0.1  # not exactly representable in binary
+        pts = demand_points([Task(wcet=0.01, period=p, deadline=p)], 1000.0)
+        drifted = 0
+        t = p
+        for k, point in enumerate(pts):
+            assert point == p + k * p  # exact, no tolerance
+            if point != t:
+                drifted += 1
+            t += p
+        assert drifted > 0  # the additive walk really does leave the grid
+
+    def test_lp_feasible_routes_through_tol_leq(self):
+        """stress == 1 + tol/2 is feasible, 1 + 3*tol is not, and the
+        verdict is a plain bool (numpy scalars must not leak out)."""
+        from repro.core.lp import LP_TOL, LPSolution
+
+        onto = LPSolution(u=None, stress=1.0 + 0.5 * LP_TOL)
+        over = LPSolution(u=None, stress=1.0 + 3.0 * LP_TOL)
+        assert onto.feasible is True
+        assert over.feasible is False

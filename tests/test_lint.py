@@ -1,0 +1,467 @@
+"""Tests for :mod:`repro.lint` — rules, noqa, baseline, reporters, CLI.
+
+Layers covered:
+
+* fixture snippets under ``tests/fixtures/lint/`` with expected finding
+  lists declared in a ``# lint-expect:`` header, linted under a virtual
+  path inside each rule's default scope;
+* the fault-injection self-test (one planted violation per rule, caught
+  at the right file/line);
+* the meta-test: ``repro lint src/`` on this very repository is clean
+  modulo the committed baseline;
+* unit tests for suppressions, baseline fingerprint matching, the three
+  reporters (including SARIF 2.1.0 shape), selection, and the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    all_rules,
+    lint_paths,
+    lint_source,
+    run_self_test,
+)
+from repro.lint.baseline import BaselineEntry
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+from repro.lint.noqa import NoqaScanner
+from repro.lint.registry import resolve_selection
+from repro.lint.reporters import render_json, render_sarif, render_text
+from repro.lint.selftest import PLANTED_CASES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+_EXPECT_RE = re.compile(r"(REP\d{3})@(\d+)")
+_PATH_RE = re.compile(r"lint-fixture-path:\s*(\S+)")
+
+
+def _fixture_cases():
+    for path in sorted(FIXTURES.glob("*.py")):
+        source = path.read_text()
+        header = source.splitlines()[:2]
+        vpath = _PATH_RE.search(header[0]).group(1)
+        expect = sorted(
+            (rule, int(line)) for rule, line in _EXPECT_RE.findall(header[1])
+        )
+        yield pytest.param(source, vpath, expect, id=path.stem)
+
+
+class TestFixtures:
+    """Every fixture produces exactly its declared finding list."""
+
+    @pytest.mark.parametrize("source,vpath,expect", list(_fixture_cases()))
+    def test_fixture(self, source, vpath, expect):
+        findings = lint_source(source, vpath, LintConfig())
+        got = sorted((f.rule, f.line) for f in findings)
+        assert got == expect
+
+    def test_fixture_dir_is_nonempty(self):
+        # one fixture per rule plus the noqa and clean modules
+        assert len(list(FIXTURES.glob("*.py"))) >= len(all_rules()) + 2
+
+
+class TestSelfTest:
+    """Fault injection: plant one violation per rule, expect detection."""
+
+    def test_all_planted_violations_detected(self):
+        result = run_self_test()
+        assert result.ok, result.summary()
+
+    def test_every_rule_has_a_planted_case(self):
+        assert {c.rule for c in PLANTED_CASES} == set(all_rules())
+
+    def test_detects_a_silently_broken_rule(self):
+        """If a rule stops firing, the self-test must fail — that is its
+        entire reason to exist."""
+        case = next(c for c in PLANTED_CASES if c.rule == "REP004")
+        # "fix" the planted module: the violation disappears, so a run
+        # against this source must NOT satisfy the expectation
+        fixed = case.source.replace("load += u", "load = load + u")
+        findings = lint_source(fixed, case.path, LintConfig())
+        assert not any(
+            f.rule == case.rule and f.line == case.line for f in findings
+        )
+
+
+class TestMetaLint:
+    """This repository holds itself to the discipline it ships."""
+
+    def test_src_is_clean_modulo_committed_baseline(self):
+        config = LintConfig(
+            root=REPO_ROOT,
+            baseline_path=REPO_ROOT / "lint-baseline.json",
+        )
+        result = lint_paths([REPO_ROOT / "src"], config)
+        assert result.parse_errors == []
+        assert result.findings == [], "\n".join(
+            f.render() for f in result.findings
+        )
+        assert result.stale_baseline == [], "\n".join(
+            e.render() for e in result.stale_baseline
+        )
+
+    def test_no_unused_suppressions_in_src(self):
+        config = LintConfig(root=REPO_ROOT)
+        result = lint_paths([REPO_ROOT / "src"], config)
+        assert result.unused_suppressions == [], "\n".join(
+            s.render() for s in result.unused_suppressions
+        )
+
+
+class TestNoqa:
+    def test_line_suppression_scoped_to_code(self):
+        src = "def f(a: float, b: float):\n    return a <= b  # repro: noqa[REP001]\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_bare_noqa_suppresses_all_rules(self):
+        src = "def f(a: float, b: float):\n    return a <= b  # repro: noqa\n"
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        src = "def f(a: float, b: float):\n    return a <= b  # repro: noqa[REP002]\n"
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_file_level_pragma(self):
+        src = (
+            "# repro: noqa-file[REP001]\n"
+            "def f(a: float, b: float):\n"
+            "    return a <= b\n"
+            "def g(a: float, b: float):\n"
+            "    return a >= b\n"
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_docstring_mention_is_not_a_suppression(self):
+        src = (
+            '"""Docs may say: use `# repro: noqa[REP001]` to silence."""\n'
+            "def f(a: float, b: float):\n"
+            "    return a <= b\n"
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_unused_suppression_reported(self):
+        scanner = NoqaScanner("x.py", "a = 1  # repro: noqa[REP001]\n")
+        assert scanner.filter([]) == []
+        assert len(scanner.unused) == 1
+        assert scanner.unused[0].codes == ("REP001",)
+
+    def test_used_suppression_not_reported(self):
+        scanner = NoqaScanner("x.py", "a = b <= c  # repro: noqa[REP001]\n")
+        finding = Finding(
+            path="x.py", line=1, col=5, rule="REP001", message="m", snippet="s"
+        )
+        assert scanner.filter([finding]) == []
+        assert scanner.unused == []
+
+
+class TestBaseline:
+    def _finding(self, path="src/repro/core/x.py", line=3, rule="REP001",
+                 snippet="return a <= b"):
+        return Finding(
+            path=path, line=line, col=5, rule=rule, message="m", snippet=snippet
+        )
+
+    def test_fingerprint_survives_line_drift(self):
+        baseline = Baseline([BaselineEntry(
+            path="src/repro/core/x.py", rule="REP001",
+            snippet="return a <= b", line=3,
+        )])
+        moved = self._finding(line=40)  # same code, different line
+        assert baseline.absorb([moved]) == []
+        assert baseline.stale == []
+
+    def test_changed_line_resurfaces(self):
+        baseline = Baseline([BaselineEntry(
+            path="src/repro/core/x.py", rule="REP001",
+            snippet="return a <= b", line=3,
+        )])
+        changed = self._finding(snippet="return a <= b * 2.0")
+        assert baseline.absorb([changed]) == [changed]
+        assert len(baseline.stale) == 1
+
+    def test_multiset_matching(self):
+        entry = BaselineEntry(
+            path="src/repro/core/x.py", rule="REP001",
+            snippet="return a <= b", line=3,
+        )
+        baseline = Baseline([entry, entry])
+        f = self._finding()
+        # two entries absorb two findings; the third stays active
+        assert baseline.absorb([f, f, f]) == [f]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        baseline = Baseline.from_findings([self._finding()])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert [e.fingerprint for e in loaded.entries] == [
+            e.fingerprint for e in baseline.entries
+        ]
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 99, "findings": []}')
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(path)
+
+
+class TestSelection:
+    def test_select_restricts(self):
+        src = (
+            "import random\n"
+            "def f(a: float, b: float):\n"
+            "    random.random()\n"
+            "    return a <= b\n"
+        )
+        cfg = LintConfig(select=("REP002",))
+        findings = lint_source(src, "src/repro/core/x.py", cfg)
+        assert [f.rule for f in findings] == ["REP002"]
+
+    def test_ignore_drops(self):
+        src = "def f(a: float, b: float):\n    return a <= b\n"
+        cfg = LintConfig(ignore=("REP001",))
+        assert lint_source(src, "src/repro/core/x.py", cfg) == []
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError, match="REP999"):
+            resolve_selection(("REP999",), None)
+
+    def test_rules_skip_tests_paths(self):
+        src = "def f(a: float, b: float):\n    return a <= b\n"
+        assert lint_source(src, "tests/test_x.py") == []
+
+    def test_path_scoping(self):
+        # REP001 is scoped to core/ and baselines/: the same source in
+        # the service package is out of scope
+        src = "def f(a: float, b: float):\n    return a <= b\n"
+        assert lint_source(src, "src/repro/service/x.py") == []
+
+
+class TestReporters:
+    def _result(self):
+        result = LintResult(files=2)
+        result.findings = [Finding(
+            path="src/repro/core/x.py", line=3, col=5, rule="REP001",
+            message="bare float comparison", snippet="return a <= b",
+        )]
+        return result
+
+    def test_text_format(self):
+        out = render_text(self._result())
+        assert "src/repro/core/x.py:3:5: REP001" in out
+        assert "1 finding(s) in 2 file(s)" in out
+
+    def test_json_format(self):
+        data = json.loads(render_json(self._result()))
+        assert data["files"] == 2
+        assert data["findings"][0]["rule"] == "REP001"
+        assert data["findings"][0]["line"] == 3
+
+    def test_sarif_shape(self):
+        """The SARIF 2.1.0 skeleton GitHub code scanning requires."""
+        doc = json.loads(render_sarif(self._result()))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} == set(all_rules())
+        for rule_meta in driver["rules"]:
+            assert rule_meta["shortDescription"]["text"]
+            assert rule_meta["fullDescription"]["text"]
+        (res,) = run["results"]
+        assert res["ruleId"] == "REP001"
+        assert res["ruleIndex"] == 0
+        assert res["level"] == "error"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/core/x.py"
+        assert loc["region"]["startLine"] == 3
+        assert loc["region"]["startColumn"] >= 1
+
+    def test_sarif_rule_index_consistent(self):
+        doc = json.loads(render_sarif(self._result()))
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        res = run["results"][0]
+        assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+
+
+class TestCLI:
+    def _write_violation(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def f(a: float, b: float):\n    return a <= b\n"
+        )
+        return tmp_path
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        root = self._write_violation(tmp_path)
+        code = main([
+            "lint", str(root / "src"), "--root", str(root), "--no-baseline",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1\n")
+        code = main(["lint", str(tmp_path / "src"), "--root", str(tmp_path)])
+        assert code == 0
+
+    def test_write_then_use_baseline(self, tmp_path, capsys):
+        root = self._write_violation(tmp_path)
+        baseline = root / "lint-baseline.json"
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--write-baseline", str(baseline),
+        ]) == 0
+        data = json.loads(baseline.read_text())
+        assert data["version"] == 1
+        assert len(data["findings"]) == 1
+        # grandfathered: the same tree now lints clean
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--baseline", str(baseline),
+        ]) == 0
+
+    def test_stale_baseline_fails_with_show_unused(self, tmp_path, capsys):
+        root = self._write_violation(tmp_path)
+        baseline = root / "lint-baseline.json"
+        main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--write-baseline", str(baseline),
+        ])
+        (root / "src" / "repro" / "core" / "bad.py").write_text("x = 1\n")
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--baseline", str(baseline),
+        ]) == 0
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--baseline", str(baseline), "--show-unused-noqa",
+        ]) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_unused_noqa_reported_via_flag(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1  # repro: noqa[REP001]\n")
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+        ]) == 0
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+            "--show-unused-noqa",
+        ]) == 1
+        assert "unused noqa" in capsys.readouterr().out
+
+    def test_sarif_output_parses(self, tmp_path, capsys):
+        root = self._write_violation(tmp_path)
+        main([
+            "lint", str(root / "src"), "--root", str(root), "--no-baseline",
+            "--format", "sarif",
+        ])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+    def test_self_test_flag(self, capsys):
+        assert main(["lint", "--self-test"]) == 0
+        assert "self-test OK" in capsys.readouterr().out
+
+    def test_unknown_rule_exit_two(self, tmp_path, capsys):
+        assert main([
+            "lint", str(tmp_path), "--root", str(tmp_path),
+            "--select", "REP999",
+        ]) == 2
+
+    def test_parse_error_reported(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def f(:\n")
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+        ]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+
+class TestRuleEdgeCases:
+    """Targeted cases beyond the fixture files."""
+
+    def test_rep001_assert_exempt(self):
+        src = textwrap.dedent(
+            """\
+            def f(a: float, b: float):
+                assert a <= b
+                return a
+            """
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_rep002_seeded_default_rng_ok(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(src, "src/repro/workloads/x.py") == []
+
+    def test_rep002_applies_everywhere_outside_tests(self):
+        src = "import random\nrandom.seed(0)\n"
+        findings = lint_source(src, "src/repro/analysis/x.py")
+        assert [f.rule for f in findings] == ["REP002"]
+
+    def test_rep003_perf_counter_allowed(self):
+        src = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(src, "src/repro/experiments/x.py") == []
+
+    def test_rep004_nested_function_not_loop(self):
+        # a += inside a function defined inside a loop body is its own
+        # scope; the accumulation heuristic must not cross the boundary
+        src = textwrap.dedent(
+            """\
+            def outer(items):
+                for item in items:
+                    def inner(base: float, delta: float) -> float:
+                        base += delta
+                        return base
+            """
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_rep005_sorted_generator_ok(self):
+        src = "def f(s: set):\n    return sorted(x for x in s)\n"
+        assert lint_source(src, "src/repro/io_/x.py") == []
+
+    def test_rep006_lock_wrapped_ok(self):
+        src = textwrap.dedent(
+            """\
+            class Cache:
+                def put(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+            """
+        )
+        assert lint_source(src, "src/repro/service/x.py") == []
+
+    def test_rep006_scoped_to_service(self):
+        src = textwrap.dedent(
+            """\
+            class State:
+                def bump(self):
+                    self._count = 1
+            """
+        )
+        assert lint_source(src, "src/repro/runner/x.py") == []
