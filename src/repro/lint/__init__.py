@@ -16,9 +16,21 @@ Layers
     Heuristic per-scope type inference (float / float-sequence / set)
     that the rules query instead of guessing from spellings.
 :mod:`~repro.lint.registry`
-    The rule protocol and the ``REPxxx`` registry.
+    The rule protocol (per-file and whole-program) and the ``REPxxx``
+    registry.
+:mod:`~repro.lint.summaries`
+    Phase 1's interprocedural output: per-module summaries of imports,
+    function facts (produces-float, derives-from-trial-seed,
+    holds-lock), and the pending sites phase 2 judges.
+:mod:`~repro.lint.callgraph`
+    Phase 2's project graph: import edges, cross-module call
+    resolution, the float/seed fixpoints, registry reachability.
+:mod:`~repro.lint.cache`
+    The incremental cache — content-hash keyed, invalidated
+    transitively along the import graph.
 :mod:`~repro.lint.rules`
-    The six domain rules, REP001-REP006.
+    The nine domain rules: REP001-REP006 per file, REP007-REP009
+    whole-program.
 :mod:`~repro.lint.noqa`
     ``# repro: noqa[REPxxx]`` line suppressions and
     ``# repro: noqa-file[REPxxx]`` file pragmas, with unused-suppression
@@ -28,8 +40,9 @@ Layers
     survive line drift, and stale entries are reported rather than
     rotting silently).
 :mod:`~repro.lint.engine`
-    Orchestration: walk files, parse, infer, run rules, apply
-    suppressions and the baseline.
+    Two-phase orchestration: the parallelizable, cacheable per-file
+    phase, then the whole-program phase over the project graph, then
+    suppressions and the baseline on the merged findings.
 :mod:`~repro.lint.reporters`
     text / JSON / SARIF 2.1.0 output.
 :mod:`~repro.lint.selftest`
@@ -40,21 +53,34 @@ Layers
 from __future__ import annotations
 
 from .baseline import Baseline
+from .callgraph import ProjectGraph
 from .config import LintConfig
-from .engine import LintResult, lint_paths, lint_source
+from .engine import (
+    EngineStats,
+    LintResult,
+    lint_changed,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 from .findings import Finding
-from .registry import Rule, all_rules, get_rule
+from .registry import ProgramRule, Rule, all_rules, get_rule
 from .selftest import run_self_test
 
 __all__ = [
     "Baseline",
+    "EngineStats",
     "Finding",
     "LintConfig",
     "LintResult",
+    "ProgramRule",
+    "ProjectGraph",
     "Rule",
     "all_rules",
     "get_rule",
+    "lint_changed",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "run_self_test",
 ]

@@ -1,0 +1,211 @@
+"""Phase 2's view of the project: import graph, call resolution, fixpoints.
+
+Built from the :class:`~repro.lint.summaries.ModuleSummary` of every
+analyzed file, never from ASTs — so the graph is cheap to rebuild each
+run even when every module summary came out of the incremental cache.
+
+The graph answers the three interprocedural questions the program rules
+ask:
+
+* does ``module.function`` produce a float on some return path
+  (REP007), following ``return helper(...)`` chains across modules with
+  a pessimistic fixpoint (cycles resolve to "not proven float");
+* does ``module.function`` derive its return value from blessed seed
+  material (REP008), with an optimistic fixpoint (a self-recursive
+  derivation chain is innocent until a taint or unknown appears);
+* which modules are reachable from a registry package's ``__init__``
+  over project-internal import edges (REP009).
+"""
+
+from __future__ import annotations
+
+from .summaries import ModuleSummary, SeedProv
+
+__all__ = ["ProjectGraph"]
+
+
+class ProjectGraph:
+    """Whole-program facts derived from per-module summaries."""
+
+    def __init__(
+        self,
+        summaries: list[ModuleSummary],
+        registries: dict[str, str] | None = None,
+    ) -> None:
+        #: module name → summary, for every analyzed module
+        self.modules: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries
+        }
+        #: registry package → fnmatch pattern for member modules (REP009)
+        self.registries: dict[str, str] = dict(registries or {})
+        self._functions: dict[str, dict[str, object]] = {
+            s.module: {fn.qualname: fn for fn in s.functions}
+            for s in summaries
+        }
+        #: project-internal import edges (candidates filtered to members)
+        self.import_edges: dict[str, tuple[str, ...]] = {
+            s.module: tuple(
+                m for m in s.imports if m in self.modules and m != s.module
+            )
+            for s in summaries
+        }
+        self._symbol_imports: dict[str, dict[str, tuple[str, str]]] = {
+            s.module: {name: (mod, orig) for name, mod, orig in s.symbol_imports}
+            for s in summaries
+        }
+        self._float_memo: dict[tuple[str, str], bool] = {}
+        self._seed_memo: dict[tuple[str, str], tuple[bool, str]] = {}
+
+    # -- symbol resolution ---------------------------------------------------
+
+    def resolve(self, module: str, name: str) -> tuple[str, str] | None:
+        """Follow re-export chains to the defining ``(module, function)``.
+
+        ``from repro.core import dbf_bound`` re-exported through a
+        package ``__init__`` resolves to the module that actually
+        defines the function.  Returns ``None`` for external modules,
+        unknown names, and re-export cycles.
+        """
+        seen: set[tuple[str, str]] = set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            if module not in self.modules:
+                return None
+            if name in self._functions[module]:
+                return (module, name)
+            origin = self._symbol_imports[module].get(name)
+            if origin is None:
+                # `from pkg import mod` style: the "symbol" may itself
+                # be a submodule — nothing callable to resolve to
+                return None
+            module, name = origin
+        return None
+
+    def function(self, module: str, name: str):
+        """The defining :class:`FunctionSummary`, or ``None``."""
+        resolved = self.resolve(module, name)
+        if resolved is None:
+            return None
+        return self._functions[resolved[0]][resolved[1]]
+
+    # -- produces-float fixpoint (REP007) ------------------------------------
+
+    def returns_float(self, module: str, name: str) -> bool:
+        """Can a call to ``module.name`` produce a float?
+
+        Pessimistic on cycles: a mutually recursive chain with no
+        direct float evidence stays unproven, so REP007 never flags on
+        speculation.
+        """
+        return self._returns_float((module, name), ())
+
+    def _returns_float(
+        self, key: tuple[str, str], stack: tuple[tuple[str, str], ...]
+    ) -> bool:
+        if key in self._float_memo:
+            return self._float_memo[key]
+        if key in stack:
+            return False  # cycle: not proven
+        resolved = self.resolve(*key)
+        if resolved is None:
+            return False
+        fn = self._functions[resolved[0]][resolved[1]]
+        result = fn.returns_float or any(
+            self._returns_float(self.resolve(*dep) or dep, stack + (key,))
+            for dep in fn.return_call_deps
+        )
+        self._float_memo[key] = result
+        return result
+
+    # -- derives-from-trial-seed fixpoint (REP008) ---------------------------
+
+    def seed_ok(self, module: str, name: str) -> tuple[bool, str]:
+        """Does every return of ``module.name`` derive from seed material?
+
+        Returns ``(verdict, reason)`` where ``reason`` explains a
+        ``False``.  Optimistic on cycles: recursion through the chain
+        under test counts as derived, so only a genuine taint or
+        unknown source breaks the verdict.
+        """
+        return self._seed_ok((module, name), ())
+
+    def _seed_ok(
+        self, key: tuple[str, str], stack: tuple[tuple[str, str], ...]
+    ) -> tuple[bool, str]:
+        if key in self._seed_memo:
+            return self._seed_memo[key]
+        if key in stack:
+            return True, ""  # optimistic: the cycle alone is no taint
+        resolved = self.resolve(*key)
+        if resolved is None:
+            return False, f"`{key[0]}.{key[1]}` is outside the analyzed program"
+        fn = self._functions[resolved[0]][resolved[1]]
+        if not fn.return_seed_provs:
+            verdict = (
+                False,
+                f"`{key[0]}.{key[1]}` returns nothing seed-derived",
+            )
+            self._seed_memo[key] = verdict
+            return verdict
+        for prov in fn.return_seed_provs:
+            ok, why = self.prov_verdict(prov, stack + (key,))
+            if not ok:
+                verdict = (False, why)
+                self._seed_memo[key] = verdict
+                return verdict
+        self._seed_memo[key] = (True, "")
+        return True, ""
+
+    def prov_verdict(
+        self,
+        prov: SeedProv,
+        _stack: tuple[tuple[str, str], ...] = (),
+    ) -> tuple[bool, str]:
+        """Judge one expression's provenance against the seed lattice."""
+        if prov.taint:
+            return False, prov.taint
+        if prov.seed:
+            return True, ""
+        if prov.deps:
+            for dep in prov.deps:
+                ok, why = self._seed_ok(dep, _stack)
+                if not ok:
+                    return False, why
+            return True, ""
+        if prov.unknown:
+            return False, prov.unknown
+        return False, "value has no seed provenance"
+
+    # -- registry reachability (REP009) --------------------------------------
+
+    def reachable_from(self, root: str) -> set[str]:
+        """Modules reachable from ``root`` over project import edges."""
+        if root not in self.modules:
+            return set()
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            module = frontier.pop()
+            for dep in self.import_edges.get(module, ()):
+                if dep not in seen:
+                    seen.add(dep)
+                    frontier.append(dep)
+        return seen
+
+    # -- import-graph queries (incremental cache, pre-commit mode) -----------
+
+    def importers_of(self, module: str) -> set[str]:
+        """Transitive closure of modules that import ``module``."""
+        reverse: dict[str, list[str]] = {}
+        for src, deps in self.import_edges.items():
+            for dep in deps:
+                reverse.setdefault(dep, []).append(src)
+        seen: set[str] = set()
+        frontier = [module]
+        while frontier:
+            cur = frontier.pop()
+            for importer in reverse.get(cur, ()):
+                if importer not in seen:
+                    seen.add(importer)
+                    frontier.append(importer)
+        return seen

@@ -13,7 +13,7 @@ from pathlib import Path
 
 from .baseline import Baseline
 from .config import DEFAULT_BASELINE, config_from_sources
-from .engine import lint_paths
+from .engine import lint_changed, lint_paths
 from .reporters import FORMATS, render
 from .selftest import run_self_test
 
@@ -82,6 +82,46 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the per-file phase (0 = all cores; "
+            "findings are bit-identical to --jobs 1)"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "incremental-analysis cache file; unchanged modules whose "
+            "project imports are also unchanged are replayed, not "
+            "re-analyzed"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache and analyze every file",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "treat the given paths as changed files: analyze the whole "
+            "program but report findings only for them, unless the "
+            "import graph says the change is non-local"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print phase-1 execution stats (files, cache hits, jobs)",
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help=(
@@ -106,9 +146,16 @@ def run_lint(args: argparse.Namespace) -> int:
         # a baseline never applies while capturing a new one
         no_baseline=args.no_baseline or args.write_baseline is not None,
         show_unused_noqa=args.show_unused_noqa,
+        jobs=args.jobs,
+        cache=None if args.no_cache else args.cache,
     )
     try:
-        result = lint_paths(args.paths, config)
+        if args.changed:
+            result, fallback = lint_changed(args.paths, config)
+            if fallback is not None:
+                print(f"repro lint: whole-program report ({fallback})")
+        else:
+            result = lint_paths(args.paths, config)
     except KeyError as exc:
         print(f"repro lint: unknown rule {exc.args[0]}", file=sys.stderr)
         return 2
@@ -121,4 +168,11 @@ def run_lint(args: argparse.Namespace) -> int:
         return 0
 
     print(render(result, args.format, show_unused=args.show_unused_noqa))
+    if args.stats:
+        s = result.stats
+        print(
+            f"stats: {s.files} file(s), {s.analyzed} analyzed, "
+            f"{s.cache_hits} cache hit(s), {s.cache_invalidated} "
+            f"invalidated by imports, jobs={s.jobs}"
+        )
     return result.exit_code(fail_on_unused=args.show_unused_noqa)

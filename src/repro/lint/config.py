@@ -10,6 +10,9 @@
     [tool.repro-lint.rules.REP003]
     include = ["repro/experiments/", "repro/oracle/"]
 
+    [tool.repro-lint.registries]          # REP009 surfaces beyond the
+    "repro.plugins" = "p*"                # built-in defaults
+
 CLI flags override file values.  ``tomllib`` ships with Python 3.11+;
 on 3.10 the pyproject section is skipped (flags still work) — the
 repository pins nothing on it.
@@ -43,9 +46,24 @@ class LintConfig:
     rule_paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: report unused noqa suppressions / stale baseline entries as errors
     show_unused_noqa: bool = False
+    #: phase-1 worker processes (1 = in-process; 0/None = all cores)
+    jobs: int = 1
+    #: incremental-cache file, or None to run cache-free
+    cache_path: Path | None = None
+    #: extra registry packages for REP009 (package → fnmatch pattern),
+    #: merged over the rule's built-in defaults
+    registries: dict[str, str] = field(default_factory=dict)
 
     def include_for(self, rule_id: str) -> tuple[str, ...] | None:
         return self.rule_paths.get(rule_id)
+
+    def registry_map(self) -> dict[str, str]:
+        """Built-in REP009 registries merged with configured extras."""
+        from .rules.rep009_orphaned_registration import DEFAULT_REGISTRIES
+
+        merged = dict(DEFAULT_REGISTRIES)
+        merged.update(self.registries)
+        return merged
 
 
 def load_pyproject_config(root: Path) -> dict[str, Any]:
@@ -78,6 +96,8 @@ def config_from_sources(
     baseline: Path | None = None,
     no_baseline: bool = False,
     show_unused_noqa: bool = False,
+    jobs: int = 1,
+    cache: Path | None = None,
 ) -> LintConfig:
     """Layer CLI arguments over the pyproject section."""
     file_cfg = load_pyproject_config(root)
@@ -91,6 +111,12 @@ def config_from_sources(
         for rid, sub in rules_cfg.items():
             if isinstance(sub, dict) and isinstance(sub.get("include"), list):
                 rule_paths[str(rid)] = tuple(str(p) for p in sub["include"])
+    registries: dict[str, str] = {}
+    registries_cfg = file_cfg.get("registries")
+    if isinstance(registries_cfg, dict):
+        for pkg, pattern in registries_cfg.items():
+            if isinstance(pattern, str):
+                registries[str(pkg)] = pattern
     baseline_path: Path | None = None
     if not no_baseline:
         if baseline is not None:
@@ -111,4 +137,7 @@ def config_from_sources(
         baseline_path=baseline_path,
         rule_paths=rule_paths,
         show_unused_noqa=show_unused_noqa,
+        jobs=jobs,
+        cache_path=cache,
+        registries=registries,
     )

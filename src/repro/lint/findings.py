@@ -28,6 +28,14 @@ class Finding:
     message: str = field(compare=False)
     #: the stripped source line (used for baseline fingerprinting)
     snippet: str = field(compare=False, default="")
+    #: last line of the enclosing statement (``0`` means "same as line");
+    #: noqa suppressions anywhere in ``line..end_line`` match
+    end_line: int = field(compare=False, default=0)
+
+    @property
+    def last_line(self) -> int:
+        """End of the suppression span (at least the anchor line)."""
+        return max(self.line, self.end_line)
 
     @property
     def fingerprint(self) -> tuple[str, str, str]:
@@ -44,6 +52,7 @@ class Finding:
         return {
             "path": self.path,
             "line": self.line,
+            "end_line": self.last_line,
             "col": self.col,
             "rule": self.rule,
             "message": self.message,

@@ -3,8 +3,9 @@
 Two forms, scanned per file:
 
 * line suppression — ``# repro: noqa[REP001]`` (or ``# repro: noqa``
-  for every rule) on the offending line suppresses findings reported
-  on that physical line;
+  for every rule) suppresses findings whose statement span covers the
+  comment's line, so the comment may sit on the anchor line *or* on the
+  closing line of a multi-line expression;
 * file pragma — ``# repro: noqa-file[REP001]`` (or bare
   ``# repro: noqa-file``) anywhere in the file suppresses the rule(s)
   for the whole file.
@@ -23,7 +24,7 @@ from dataclasses import dataclass, field
 
 from .findings import Finding
 
-__all__ = ["Suppression", "NoqaScanner"]
+__all__ = ["Suppression", "NoqaScanner", "apply_suppressions"]
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?P<file>-file)?"
@@ -50,7 +51,9 @@ class Suppression:
             return False
         if self.file_level:
             return True
-        return finding.line == self.line
+        # the whole statement span, so a suppression on the closing line
+        # of a multi-line expression is honored too
+        return finding.line <= self.line <= finding.last_line
 
     def render(self) -> str:
         scope = "file pragma" if self.file_level else "suppression"
@@ -100,19 +103,30 @@ class NoqaScanner:
 
     def filter(self, findings: list[Finding]) -> list[Finding]:
         """Active findings after suppression; marks matched noqas used."""
-        kept: list[Finding] = []
-        for finding in findings:
-            suppressed = False
-            for supp in self.suppressions:
-                if supp.matches(finding):
-                    supp.used = True
-                    suppressed = True
-                    # keep checking: several noqas may cover one line and
-                    # all of them legitimately count as used
-            if not suppressed:
-                kept.append(finding)
-        return kept
+        return apply_suppressions(findings, self.suppressions)
 
     @property
     def unused(self) -> list[Suppression]:
         return [s for s in self.suppressions if not s.used]
+
+
+def apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Active findings after suppression; marks matched noqas used.
+
+    Module-level so the engine can apply cached suppression lists
+    without re-tokenizing the source.
+    """
+    kept: list[Finding] = []
+    for finding in findings:
+        suppressed = False
+        for supp in suppressions:
+            if supp.matches(finding):
+                supp.used = True
+                suppressed = True
+                # keep checking: several noqas may cover one line and
+                # all of them legitimately count as used
+        if not suppressed:
+            kept.append(finding)
+    return kept

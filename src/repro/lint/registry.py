@@ -4,13 +4,17 @@ from __future__ import annotations
 
 import ast
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from .findings import Finding
 from .typeinfer import TypeInference
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .callgraph import ProjectGraph
+
 __all__ = [
     "FileContext",
+    "ProgramRule",
     "Rule",
     "all_rules",
     "get_rule",
@@ -69,7 +73,31 @@ class FileContext:
             rule=rule.id,
             message=message,
             snippet=self.snippet(line),
+            end_line=self.statement_span(node)[1],
         )
+
+    def statement_span(self, node: ast.AST) -> tuple[int, int]:
+        """``(lineno, end_lineno)`` of the statement enclosing ``node``.
+
+        The suppression span: a ``# repro: noqa`` anywhere on these
+        lines silences findings anchored inside the statement.
+        """
+        cur: ast.AST | None = node
+        while cur is not None and not isinstance(cur, ast.stmt):
+            cur = getattr(cur, "_repro_parent", None)
+        anchor = getattr(node, "lineno", 1)
+        if cur is None:
+            return anchor, anchor
+        start = getattr(cur, "lineno", anchor)
+        end = getattr(cur, "end_lineno", None) or anchor
+        # block statements (for/while/if/with/def): span the header only,
+        # so a noqa inside the body cannot silence a finding on the header
+        body = getattr(cur, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            first = getattr(body[0], "lineno", end)
+            if first > start:
+                end = first - 1
+        return min(start, anchor), max(end, anchor)
 
     def parents(self, node: ast.AST) -> Iterator[ast.AST]:
         """Ancestors of ``node``, innermost first."""
@@ -130,6 +158,26 @@ class Rule(ABC):
         if not paths:
             return True
         return any(fragment in path for fragment in paths)
+
+
+class ProgramRule(Rule):
+    """A whole-program rule: runs in phase 2 over the project graph.
+
+    Program rules never inspect a single file in isolation —
+    :meth:`check` is a no-op and :meth:`check_program` receives the
+    :class:`~repro.lint.callgraph.ProjectGraph` built from every
+    analyzed module's summary.  The engine path-scopes the findings a
+    program rule yields exactly like per-file findings (``applies_to``
+    on the finding's path), so ``default_paths``/``excluded_paths``
+    keep their meaning.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    @abstractmethod
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        """Yield findings across the whole analyzed program."""
 
 
 _RULES: dict[str, Rule] = {}

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 from .engine import LintResult
@@ -61,8 +62,23 @@ def render_json(result: LintResult) -> str:
         "parse_errors": [
             {"path": p, "message": m} for p, m in result.parse_errors
         ],
+        "stats": result.stats.as_dict(),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _partial_fingerprint(finding) -> str:
+    """Stable line-drift-surviving identity for SARIF result matching.
+
+    Built from the same ``(path, rule, snippet)`` triple the baseline
+    uses, so GitHub code scanning keeps tracking a finding across
+    unrelated edits that shift its line number — and re-opens it the
+    moment the offending line itself changes.
+    """
+    digest = hashlib.sha256(
+        "|".join(finding.fingerprint).encode("utf-8")
+    ).hexdigest()
+    return digest[:20]
 
 
 def render_sarif(result: LintResult) -> str:
@@ -86,11 +102,17 @@ def render_sarif(result: LintResult) -> str:
                             },
                             "region": {
                                 "startLine": finding.line,
-                                "startColumn": max(1, finding.col + 1),
+                                "endLine": finding.last_line,
+                                # Finding.col is already 1-based — the
+                                # SARIF contract, no conversion
+                                "startColumn": finding.col,
                             },
                         }
                     }
                 ],
+                "partialFingerprints": {
+                    "reproLintFingerprint/v1": _partial_fingerprint(finding)
+                },
             }
         )
     document = {

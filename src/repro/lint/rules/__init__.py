@@ -9,6 +9,9 @@ from . import (  # noqa: F401 - registration side effects
     rep004_accumulation,
     rep005_unordered,
     rep006_lock_discipline,
+    rep007_tolerance_escape,
+    rep008_seed_provenance,
+    rep009_orphaned_registration,
 )
 
 __all__ = [
@@ -18,4 +21,7 @@ __all__ = [
     "rep004_accumulation",
     "rep005_unordered",
     "rep006_lock_discipline",
+    "rep007_tolerance_escape",
+    "rep008_seed_provenance",
+    "rep009_orphaned_registration",
 ]

@@ -1,0 +1,98 @@
+"""REP007 — tolerance escape across function boundaries.
+
+REP001 flags a bare ``<=``/``>=``/``==`` when *both* operands visibly
+infer as floats inside one file.  That leaves a hole the fuzzing
+campaign of PR 3 walked straight through: the comparison
+``demand(ts, t) <= capacity`` is invisible to per-file analysis when
+``demand`` lives in another module — the call's return type is unknown
+locally, so REP001 stays silent and the boundary verdict can still
+flip on rounding noise.
+
+This rule closes the hole interprocedurally.  Phase 1 records every
+bare comparison with a call operand that resolves to a project
+function; phase 2 asks the project graph whether the callee *produces
+a float* (directly, by annotation, or transitively through ``return
+helper(...)`` chains — a pessimistic fixpoint, so recursion without
+float evidence never flags).  A site fires only when both sides are
+float-bearing, mirroring REP001's contract; the same literal/guard/
+assert exemptions apply, enforced at summary-extraction time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["ToleranceEscape"]
+
+
+def _float_bearing(program: "ProjectGraph", desc: tuple[str, str, str]) -> bool:
+    if desc[0] == "float":
+        return True
+    if desc[0] == "call":
+        return program.returns_float(desc[1], desc[2])
+    return False
+
+
+def _call_label(program: "ProjectGraph", desc: tuple[str, str, str]) -> str:
+    resolved = program.resolve(desc[1], desc[2]) or (desc[1], desc[2])
+    return f"`{resolved[1]}()` (defined in {resolved[0]})"
+
+
+@register
+class ToleranceEscape(ProgramRule):
+    id = "REP007"
+    name = "tolerance-escape"
+    summary = (
+        "Bare comparison of a float-returning project function's result; "
+        "use leq/geq/close"
+    )
+    rationale = (
+        "A feasibility verdict compared raw at a call site escapes the "
+        "tolerance helpers even though the float was produced two "
+        "modules away.  The call graph knows the callee produces a "
+        "float, so the comparison is held to the same standard as a "
+        "local one: route it through leq/geq/close or tol_leq/tol_geq."
+    )
+    default_paths = ("repro/core/", "repro/baselines/", "repro/analysis/")
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        for summary in program.modules.values():
+            for site in summary.comparisons:
+                if not (
+                    _float_bearing(program, site.left)
+                    and _float_bearing(program, site.right)
+                ):
+                    continue
+                calls = [
+                    d
+                    for d in (site.left, site.right)
+                    if d[0] == "call" and program.returns_float(d[1], d[2])
+                ]
+                if not calls:
+                    continue  # both sides local floats: REP001's finding
+                who = " and ".join(_call_label(program, d) for d in calls)
+                helper = (
+                    "close"
+                    if site.op_text == "=="
+                    else ("leq" if site.op_text == "<=" else "geq")
+                )
+                yield Finding(
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.id,
+                    message=(
+                        f"{who} returns a float; bare `{site.op_text}` at "
+                        f"this call site escapes the tolerance helpers — "
+                        f"route through `{helper}` (or `tol_leq`/`tol_geq` "
+                        "on the LP side)"
+                    ),
+                    snippet=site.snippet,
+                    end_line=site.end_line,
+                )

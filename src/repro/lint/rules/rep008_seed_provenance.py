@@ -1,0 +1,76 @@
+"""REP008 — RNG seeded from material outside the trial-seed chain.
+
+REP002 flags *unseeded* RNG construction.  The subtler failure PR 2's
+campaign runner was built to prevent is an RNG that **is** seeded, but
+from a value with the wrong provenance: ``default_rng(hash(label))``
+(PYTHONHASHSEED-dependent), ``default_rng(int(time.time()))``, or a
+seed threaded through three helper functions whose origin was a
+wall-clock read all along.  Each reproduces *sometimes* — exactly the
+kind of flake the differential oracle cannot bisect.
+
+Phase 1 tracks a provenance lattice for every expression that reaches
+an RNG constructor: **blessed** material is literals, names/attributes
+matching ``seed``/``entropy``, ``zlib.crc32`` digests, and
+``SeedSequence``/``generate_state``/``spawn`` chains over blessed
+inputs (the ``Campaign._trial_seed`` pattern); **tainted** material is
+``hash``/``id`` and anything from ``time``/``os``/``uuid``/``random``/
+``secrets``; calls into project functions defer to phase 2, which runs
+an optimistic fixpoint over function return provenance — a derivation
+chain may recurse, but a taint or unprovable source anywhere in it
+breaks the verdict.  Mixtures (``SeedSequence([base_seed, digest,
+point, rep])``) are blessed if any component is blessed and none is
+tainted; a value the analysis cannot trace at all is flagged, because
+seeds are a whitelist, not a blacklist.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["SeedProvenanceTaint"]
+
+
+@register
+class SeedProvenanceTaint(ProgramRule):
+    id = "REP008"
+    name = "seed-provenance"
+    summary = (
+        "RNG seeded from a value not derived from the crc32 trial-seed "
+        "digest"
+    )
+    rationale = (
+        "Seeding an RNG from hash(), a clock, or an untraceable value "
+        "makes trials irreproducible even though the construction looks "
+        "seeded.  Every seed must derive from the blessed chain: the "
+        "campaign base seed, zlib.crc32 name digests, and SeedSequence "
+        "mixing — the provenance is checked across function and module "
+        "boundaries."
+    )
+    default_paths = ()  # everywhere outside tests
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        for summary in program.modules.values():
+            for site in summary.rng_sites:
+                ok, why = program.prov_verdict(site.prov)
+                if ok:
+                    continue
+                yield Finding(
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.id,
+                    message=(
+                        f"`{site.constructor}(...)` seeded from material "
+                        f"not derived from the trial-seed digest ({why}); "
+                        "derive seeds from the campaign base seed via "
+                        "`zlib.crc32` + `SeedSequence`"
+                    ),
+                    snippet=site.snippet,
+                    end_line=site.end_line,
+                )

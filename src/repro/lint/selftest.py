@@ -6,6 +6,13 @@ violation at a known line, under a virtual path inside the rule's
 default scope.  If the rule reports anything other than exactly that
 ``rule@line``, the analyzer itself is broken — a linter that silently
 stops firing is worse than no linter.
+
+The per-file rules (REP001-006) are planted as single modules run
+through :func:`lint_source`.  The interprocedural rules (REP007+) are
+planted as *programs* — each violation is split across two or more
+modules so that detecting it requires the call graph, and run through
+:func:`lint_sources`.  A registered rule with neither kind of planted
+case fails the self-test outright.
 """
 
 from __future__ import annotations
@@ -14,10 +21,17 @@ import textwrap
 from dataclasses import dataclass, field
 
 from .config import LintConfig
-from .engine import lint_source
+from .engine import lint_source, lint_sources
 from .registry import all_rules
 
-__all__ = ["PlantedCase", "SelfTestResult", "run_self_test", "PLANTED_CASES"]
+__all__ = [
+    "PlantedCase",
+    "PlantedProgram",
+    "SelfTestResult",
+    "run_self_test",
+    "PLANTED_CASES",
+    "PLANTED_PROGRAMS",
+]
 
 
 @dataclass(frozen=True)
@@ -121,6 +135,109 @@ PLANTED_CASES: tuple[PlantedCase, ...] = (
 )
 
 
+@dataclass(frozen=True)
+class PlantedProgram:
+    """A multi-module program with a single cross-module violation."""
+
+    rule: str
+    #: virtual path → module source, every module needed for detection
+    files: tuple[tuple[str, str], ...]
+    #: path the violation must be reported in
+    path: str
+    #: 1-based line the violation must be reported on
+    line: int
+    #: extra REP009 registries the case needs (package → pattern)
+    registries: tuple[tuple[str, str], ...] = ()
+
+
+PLANTED_PROGRAMS: tuple[PlantedProgram, ...] = (
+    # REP007: the float is produced in one module, compared bare in
+    # another — invisible to per-file analysis by construction.
+    PlantedProgram(
+        rule="REP007",
+        files=(
+            (
+                "src/repro/core/planted_demand.py",
+                textwrap.dedent(
+                    """\
+                    def demand(tasks, horizon) -> float:
+                        return 0.5 * horizon
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/planted_rep007.py",
+                textwrap.dedent(
+                    """\
+                    from repro.core.planted_demand import demand
+
+
+                    def admits(tasks, horizon, capacity: float) -> bool:
+                        return demand(tasks, horizon) <= capacity
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/core/planted_rep007.py",
+        line=5,
+    ),
+    # REP008: the taint (PYTHONHASHSEED-dependent hash) is two calls
+    # away from the RNG construction, in a different module.
+    PlantedProgram(
+        rule="REP008",
+        files=(
+            (
+                "src/repro/workloads/planted_label_seed.py",
+                textwrap.dedent(
+                    """\
+                    def label_seed(label):
+                        return hash(label)
+                    """
+                ),
+            ),
+            (
+                "src/repro/workloads/planted_rep008.py",
+                textwrap.dedent(
+                    """\
+                    import numpy as np
+
+                    from repro.workloads.planted_label_seed import label_seed
+
+
+                    def make_rng(label):
+                        return np.random.default_rng(label_seed(label))
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/workloads/planted_rep008.py",
+        line=7,
+    ),
+    # REP009: two member modules match the registry pattern, the
+    # __init__ imports only one — the other's registration never runs.
+    PlantedProgram(
+        rule="REP009",
+        files=(
+            (
+                "src/repro/plugins/__init__.py",
+                "from . import p01_alpha  # noqa: F401 - registration\n",
+            ),
+            (
+                "src/repro/plugins/p01_alpha.py",
+                "REGISTERED = True\n",
+            ),
+            (
+                "src/repro/plugins/p02_beta.py",
+                "REGISTERED = True\n",
+            ),
+        ),
+        path="src/repro/plugins/p02_beta.py",
+        line=1,
+        registries=(("repro.plugins", "p*"),),
+    ),
+)
+
+
 @dataclass
 class SelfTestResult:
     """Outcome of the fault-injection pass."""
@@ -150,6 +267,7 @@ def run_self_test() -> SelfTestResult:
     result = SelfTestResult()
     config = LintConfig()  # every rule, no baseline, defaults only
     covered = {case.rule for case in PLANTED_CASES}
+    covered |= {program.rule for program in PLANTED_PROGRAMS}
     uncovered = [rid for rid in all_rules() if rid not in covered]
     for rid in uncovered:
         result.failures.append(
@@ -158,7 +276,7 @@ def run_self_test() -> SelfTestResult:
                 "registered rule has no planted self-test case",
             )
         )
-    result.checked = len(PLANTED_CASES) + len(uncovered)
+    result.checked = len(PLANTED_CASES) + len(PLANTED_PROGRAMS) + len(uncovered)
     for case in PLANTED_CASES:
         findings = lint_source(case.source, case.path, config)
         hits = [
@@ -179,5 +297,40 @@ def run_self_test() -> SelfTestResult:
         elif extras:
             result.failures.append(
                 (case, f"unexpected extra findings: {', '.join(extras)}")
+            )
+    for program in PLANTED_PROGRAMS:
+        facade = PlantedCase(
+            rule=program.rule, path=program.path, source="", line=program.line
+        )
+        program_config = LintConfig(registries=dict(program.registries))
+        findings = lint_sources(dict(program.files), program_config)
+        hits = [
+            f
+            for f in findings
+            if f.rule == program.rule
+            and f.path == program.path
+            and f.line == program.line
+        ]
+        extras = [
+            f"{f.rule}@{f.path}:{f.line}"
+            for f in findings
+            if (f.rule, f.path, f.line)
+            != (program.rule, program.path, program.line)
+        ]
+        if not hits:
+            got = (
+                ", ".join(f"{f.rule}@{f.path}:{f.line}" for f in findings)
+                or "nothing"
+            )
+            result.failures.append(
+                (
+                    facade,
+                    f"expected {program.rule}@{program.path}:{program.line}, "
+                    f"got {got}",
+                )
+            )
+        elif extras:
+            result.failures.append(
+                (facade, f"unexpected extra findings: {', '.join(extras)}")
             )
     return result

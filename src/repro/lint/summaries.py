@@ -1,0 +1,635 @@
+"""Per-module summaries — the facts phase 2 of the analyzer consumes.
+
+Phase 1 (per file, parallelizable) reduces every module to a
+:class:`ModuleSummary` of plain picklable data: which project modules it
+imports, which functions it defines and what they return
+("produces-float", "derives-from-trial-seed", "holds-lock"), plus the
+*pending sites* the interprocedural rules will judge once every summary
+is available — bare comparisons whose operand is a call into another
+module (REP007) and RNG constructions whose seed argument's provenance
+crosses function boundaries (REP008).
+
+Everything here is deliberately AST-free and content-addressable: the
+summaries travel through the process pool, live in the incremental
+cache, and fully determine phase 2 — two runs that produce the same
+summaries produce the same interprocedural findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .registry import FileContext
+from .typeinfer import FLOAT
+
+__all__ = [
+    "SeedProv",
+    "FunctionSummary",
+    "ComparisonSite",
+    "RNGSite",
+    "ModuleSummary",
+    "module_name_for_path",
+    "build_module_summary",
+]
+
+#: names whose value is trusted seed material wherever they appear
+_SEED_NAME_RE = re.compile(r"(^|_)(seed|seeds|entropy)(_|$)")
+
+#: modules whose call results poison a seed derivation (environment-,
+#: time-, or hash-dependent values)
+_TAINT_MODULES = frozenset(
+    {"time", "datetime", "os", "uuid", "secrets", "random", "socket", "platform"}
+)
+
+#: builtins that poison a seed derivation; ``hash`` is the historical
+#: bug (PYTHONHASHSEED-dependent), ``id`` varies per process
+_TAINT_BUILTINS = frozenset({"hash", "id"})
+
+#: builtins that merely pass provenance through
+_PASSTHROUGH_BUILTINS = frozenset({"int", "abs", "min", "max", "sum", "round"})
+
+#: methods on SeedSequence/Generator objects that stay in the blessed
+#: derivation chain
+_DERIVING_METHODS = frozenset({"generate_state", "spawn", "integers"})
+
+#: the RNG constructors REP008 audits (REP002 already covers the
+#: zero-argument forms)
+RNG_CONSTRUCTORS = frozenset({"default_rng", "Generator", "PCG64", "SeedSequence"})
+
+_FLAGGED_CMP_OPS = {ast.LtE: "<=", ast.GtE: ">=", ast.Eq: "=="}
+
+
+# ---------------------------------------------------------------------------
+# summary records (all plain, hashable, picklable)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SeedProv:
+    """Provenance verdict for one expression in the seed lattice.
+
+    ``taint`` and ``unknown`` carry human-readable reasons; ``deps`` are
+    ``(module, function)`` calls whose *return* provenance decides the
+    verdict (resolved by the project graph's fixpoint).  Combination
+    rule: taint dominates, then an explicit seed component blesses the
+    mixture (the ``SeedSequence([base_seed, digest, point, rep])``
+    pattern), then unresolved deps, then unknown.
+    """
+
+    taint: str = ""
+    seed: bool = False
+    unknown: str = ""
+    deps: tuple[tuple[str, str], ...] = ()
+
+
+#: provenance of an expression that is pure literal / blessed material
+_PROV_SEED = SeedProv(seed=True)
+
+
+def combine_provs(provs: list[SeedProv]) -> SeedProv:
+    """Fold the provenance of an expression's components."""
+    taint = next((p.taint for p in provs if p.taint), "")
+    seed = any(p.seed for p in provs)
+    unknown = next((p.unknown for p in provs if p.unknown), "")
+    deps: list[tuple[str, str]] = []
+    for p in provs:
+        for dep in p.deps:
+            if dep not in deps:
+                deps.append(dep)
+    return SeedProv(taint=taint, seed=seed, unknown=unknown, deps=tuple(deps))
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Interprocedural facts about one function or method."""
+
+    #: ``name`` for module functions, ``Class.name`` for methods
+    qualname: str
+    #: a return path produces a float (directly inferred or annotated)
+    returns_float: bool = False
+    #: ``return f(...)`` calls whose return kind decides floatness
+    return_call_deps: tuple[tuple[str, str], ...] = ()
+    #: provenance of each ``return <expr>`` (all must be seed-derived
+    #: for the function to count as a seed deriver)
+    return_seed_provs: tuple[SeedProv, ...] = ()
+    #: body contains a ``with <...lock...>:`` block (future
+    #: lock-discipline summaries for service/ lean on this)
+    holds_lock: bool = False
+
+
+@dataclass(frozen=True)
+class ComparisonSite:
+    """A bare comparison with a cross-function operand (REP007 input)."""
+
+    line: int
+    col: int
+    end_line: int
+    snippet: str
+    op_text: str
+    #: operand descriptors: ``("float", "", "")``, ``("call", mod, fn)``,
+    #: or ``("other", "", "")``
+    left: tuple[str, str, str]
+    right: tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class RNGSite:
+    """An RNG constructed from an explicit argument (REP008 input)."""
+
+    line: int
+    col: int
+    end_line: int
+    snippet: str
+    constructor: str
+    prov: SeedProv
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything phase 2 needs to know about one module."""
+
+    module: str
+    path: str
+    is_package: bool = False
+    #: stripped first source line (fingerprint input for module-level
+    #: findings such as REP009)
+    first_line: str = ""
+    #: absolute module names this module imports (project and external;
+    #: the graph filters to project members)
+    imports: tuple[str, ...] = ()
+    #: ``local name -> (origin module, origin name)`` for from-imports
+    symbol_imports: tuple[tuple[str, str, str], ...] = ()
+    functions: tuple[FunctionSummary, ...] = ()
+    comparisons: tuple[ComparisonSite, ...] = ()
+    rng_sites: tuple[RNGSite, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# module naming and import resolution
+# ---------------------------------------------------------------------------
+
+
+def module_name_for_path(rel_path: str) -> tuple[str, bool]:
+    """``(dotted module name, is_package)`` for a repo-relative path.
+
+    ``src/repro/core/dbf.py`` → ``("repro.core.dbf", False)``;
+    package ``__init__`` files name the package itself.
+    """
+    parts = [p for p in rel_path.split("/") if p]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    is_package = bool(parts) and parts[-1] == "__init__"
+    if is_package:
+        parts = parts[:-1]
+    return ".".join(parts), is_package
+
+
+def _resolve_from_import(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> str | None:
+    """Absolute module an ``ImportFrom`` refers to, or ``None``."""
+    if node.level == 0:
+        return node.module
+    base = module.split(".") if module else []
+    if not is_package:
+        base = base[:-1]
+    drop = node.level - 1
+    if drop:
+        if drop > len(base):
+            return None
+        base = base[: len(base) - drop]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+# ---------------------------------------------------------------------------
+# seed provenance
+# ---------------------------------------------------------------------------
+
+
+def _unparse(node: ast.AST, limit: int = 40) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        text = type(node).__name__
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class _ProvenancePass:
+    """Scope-aware forward pass binding names to seed provenance.
+
+    The same shape as :class:`~repro.lint.typeinfer.TypeInference`, but
+    tracking a different lattice: does this value derive from the
+    crc32 trial-seed digest chain (parameters/attributes named ``seed``,
+    ``zlib.crc32``, ``SeedSequence`` and friends), from a known
+    non-deterministic source (``hash``, wall clocks, ``os.*``), from a
+    project function call (deferred to phase 2), or from nowhere we can
+    prove?
+    """
+
+    def __init__(self, ctx: FileContext, resolver) -> None:
+        self.ctx = ctx
+        self._resolve_call = resolver
+        self._envs: dict[ast.AST, dict[str, SeedProv]] = {}
+        self._build(ctx.tree, {})
+
+    def _build(self, scope: ast.AST, inherited: dict[str, SeedProv]) -> None:
+        env = dict(inherited)
+        self._envs[scope] = env
+        body = getattr(scope, "body", [])
+        if isinstance(body, list):
+            self._stmts(body, env)
+
+    def _stmts(self, stmts: list[ast.stmt], env: dict[str, SeedProv]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._build(stmt, env)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._stmts(stmt.body, dict(env))
+                continue
+            if isinstance(stmt, ast.Assign):
+                prov = self.prov_in_env(stmt.value, env)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = prov
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+            ):
+                env[stmt.target.id] = self.prov_in_env(stmt.value, env)
+            for field_name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field_name, None)
+                if isinstance(inner, list):
+                    self._stmts(
+                        [s for s in inner if isinstance(s, ast.stmt)], env
+                    )
+            for handler in getattr(stmt, "handlers", None) or []:
+                self._stmts(handler.body, env)
+
+    def env_for(self, node: ast.AST) -> dict[str, SeedProv]:
+        cur: ast.AST | None = node
+        while cur is not None:
+            if cur in self._envs:
+                return self._envs[cur]
+            cur = getattr(cur, "_repro_parent", None)
+        return {}
+
+    def prov_of(self, node: ast.expr) -> SeedProv:
+        return self.prov_in_env(node, self.env_for(node))
+
+    def prov_in_env(
+        self, node: ast.expr, env: dict[str, SeedProv]
+    ) -> SeedProv:  # noqa: C901 - one dispatch table, clearer flat
+        if isinstance(node, ast.Constant):
+            if node.value is None:
+                return SeedProv(taint="a `None` seed draws OS entropy")
+            return _PROV_SEED  # explicit literals are reproducible
+        if isinstance(node, ast.Name):
+            if _SEED_NAME_RE.search(node.id):
+                return _PROV_SEED
+            if node.id in env:
+                return env[node.id]
+            return SeedProv(unknown=f"`{node.id}` has no seed provenance")
+        if isinstance(node, ast.Attribute):
+            if _SEED_NAME_RE.search(node.attr):
+                return _PROV_SEED
+            return SeedProv(unknown=f"`{_unparse(node)}` has no seed provenance")
+        if isinstance(node, ast.UnaryOp):
+            return self.prov_in_env(node.operand, env)
+        if isinstance(node, ast.BinOp):
+            return combine_provs(
+                [
+                    self.prov_in_env(node.left, env),
+                    self.prov_in_env(node.right, env),
+                ]
+            )
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return combine_provs(
+                [self.prov_in_env(e, env) for e in node.elts]
+            )
+        if isinstance(node, ast.Subscript):
+            return self.prov_in_env(node.value, env)
+        if isinstance(node, ast.IfExp):
+            return combine_provs(
+                [
+                    self.prov_in_env(node.body, env),
+                    self.prov_in_env(node.orelse, env),
+                ]
+            )
+        if isinstance(node, ast.NamedExpr):
+            return self.prov_in_env(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._call_prov(node, env)
+        return SeedProv(unknown=f"`{_unparse(node)}` has no seed provenance")
+
+    def _call_prov(
+        self, node: ast.Call, env: dict[str, SeedProv]
+    ) -> SeedProv:
+        func = node.func
+        arg_values = list(node.args) + [kw.value for kw in node.keywords]
+
+        if isinstance(func, ast.Name):
+            if func.id in _TAINT_BUILTINS:
+                detail = (
+                    "varies with PYTHONHASHSEED"
+                    if func.id == "hash"
+                    else "varies per process"
+                )
+                return SeedProv(taint=f"`{func.id}(...)` {detail}")
+            if func.id in _PASSTHROUGH_BUILTINS:
+                return combine_provs(
+                    [self.prov_in_env(a, env) for a in arg_values]
+                )
+            origin = self.ctx.from_imports.get(func.id)
+            if origin is not None and origin[0] in _TAINT_MODULES:
+                return SeedProv(
+                    taint=f"`{origin[0]}.{origin[1]}(...)` is "
+                    "environment-dependent"
+                )
+        if self.ctx.resolves_to(func, "zlib", "crc32"):
+            return _PROV_SEED  # the blessed stable digest
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and self.ctx.import_aliases.get(base.id) in _TAINT_MODULES
+            ):
+                return SeedProv(
+                    taint=f"`{self.ctx.import_aliases[base.id]}.{func.attr}"
+                    "(...)` is environment-dependent"
+                )
+            if func.attr in _DERIVING_METHODS:
+                # ss.generate_state(n) / ss.spawn(k): receiver provenance
+                return self.prov_in_env(base, env)
+            if func.attr in RNG_CONSTRUCTORS:
+                # constructing from components: the mixture rule
+                return combine_provs(
+                    [self.prov_in_env(a, env) for a in arg_values]
+                )
+        if isinstance(func, ast.Name) and func.id in RNG_CONSTRUCTORS:
+            return combine_provs(
+                [self.prov_in_env(a, env) for a in arg_values]
+            )
+        resolved = self._resolve_call(node)
+        if resolved is not None:
+            return SeedProv(deps=(resolved,))
+        return SeedProv(unknown=f"call to `{_unparse(func)}` is unresolved")
+
+
+# ---------------------------------------------------------------------------
+# the builder
+# ---------------------------------------------------------------------------
+
+
+def _rng_constructor(ctx: FileContext, func: ast.expr) -> str | None:
+    """Constructor name if ``func`` denotes a numpy RNG constructor."""
+    if isinstance(func, ast.Attribute) and func.attr in RNG_CONSTRUCTORS:
+        value = func.value
+        # np.random.default_rng / numpy.random.default_rng
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and ctx.import_aliases.get(value.value.id) == "numpy"
+        ):
+            return func.attr
+        # from numpy import random [as npr]
+        if isinstance(value, ast.Name) and ctx.from_imports.get(value.id) == (
+            "numpy",
+            "random",
+        ):
+            return func.attr
+    if isinstance(func, ast.Name):
+        origin = ctx.from_imports.get(func.id)
+        if origin is not None and origin[0] == "numpy.random":
+            if origin[1] in RNG_CONSTRUCTORS:
+                return origin[1]
+    return None
+
+
+class _SummaryBuilder:
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.module, self.is_package = module_name_for_path(ctx.path)
+        self._local_functions: set[str] = {
+            n.name
+            for n in ctx.tree.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self._symbol_imports: dict[str, tuple[str, str]] = {}
+        self._module_aliases: dict[str, str] = {}
+        self._imports: list[str] = []
+        self._collect_imports()
+        self.prov = _ProvenancePass(ctx, self.resolve_call)
+
+    # -- imports ------------------------------------------------------------
+
+    def _collect_imports(self) -> None:
+        seen: set[str] = set()
+
+        def add(name: str | None) -> None:
+            if name and name not in seen:
+                seen.add(name)
+                self._imports.append(name)
+
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    add(alias.name)
+                    self._module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                origin = _resolve_from_import(self.module, self.is_package, node)
+                if origin is None:
+                    continue
+                add(origin)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    # `from pkg import mod` may bind a submodule: record
+                    # the candidate edge; the graph keeps real modules
+                    add(f"{origin}.{alias.name}")
+                    self._symbol_imports[alias.asname or alias.name] = (
+                        origin,
+                        alias.name,
+                    )
+
+    # -- call resolution ----------------------------------------------------
+
+    def resolve_call(self, node: ast.Call) -> tuple[str, str] | None:
+        """``(module, function)`` a call refers to, when statically clear."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self._symbol_imports:
+                return self._symbol_imports[func.id]
+            if func.id in self._local_functions:
+                return (self.module, func.id)
+            return None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = func.value.id
+            if base in self._module_aliases:
+                return (self._module_aliases[base], func.attr)
+            # `from repro import core; core.fn(...)` — submodule binding
+            origin = self._symbol_imports.get(base)
+            if origin is not None:
+                return (f"{origin[0]}.{origin[1]}", func.attr)
+        return None
+
+    # -- functions ----------------------------------------------------------
+
+    def _function_summaries(self) -> Iterator[FunctionSummary]:
+        for node, qualname in self._functions_with_qualnames():
+            returns = self._returns_of(node)
+            returns_float = self._annotated_float(node)
+            deps: list[tuple[str, str]] = []
+            seed_provs: list[SeedProv] = []
+            for ret in returns:
+                if ret.value is None:
+                    continue
+                if self.ctx.types.kind_of(ret.value) == FLOAT:
+                    returns_float = True
+                if isinstance(ret.value, ast.Call):
+                    dep = self.resolve_call(ret.value)
+                    if dep is not None and dep not in deps:
+                        deps.append(dep)
+                seed_provs.append(self.prov.prov_of(ret.value))
+            yield FunctionSummary(
+                qualname=qualname,
+                returns_float=returns_float,
+                return_call_deps=tuple(deps),
+                return_seed_provs=tuple(seed_provs),
+                holds_lock=self._holds_lock(node),
+            )
+
+    def _functions_with_qualnames(
+        self,
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+        for node in self.ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, node.name
+            elif isinstance(node, ast.ClassDef):
+                for sub in node.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield sub, f"{node.name}.{sub.name}"
+
+    @staticmethod
+    def _annotated_float(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        return isinstance(fn.returns, ast.Name) and fn.returns.id == "float"
+
+    def _returns_of(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> list[ast.Return]:
+        out = []
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Return) and self._nearest_function(sub) is fn:
+                out.append(sub)
+        return out
+
+    def _nearest_function(self, node: ast.AST) -> ast.AST | None:
+        for parent in self.ctx.parents(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return parent
+        return None
+
+    def _holds_lock(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        from .rules.rep006_lock_discipline import _mentions_lock
+
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.With) and any(
+                _mentions_lock(item.context_expr) for item in sub.items
+            ):
+                return True
+        return False
+
+    # -- pending sites -------------------------------------------------------
+
+    def _comparison_sites(self) -> Iterator[ComparisonSite]:
+        from .rules.rep001_float_compare import _guards_raise, _is_exempt_literal
+
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for i, op in enumerate(node.ops):
+                op_text = _FLAGGED_CMP_OPS.get(type(op))
+                if op_text is None:
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_exempt_literal(left) or _is_exempt_literal(right):
+                    continue
+                left_desc = self._operand_desc(left)
+                right_desc = self._operand_desc(right)
+                if "call" not in (left_desc[0], right_desc[0]):
+                    continue  # both local: REP001's territory
+                if _guards_raise(self.ctx, node):
+                    continue
+                line = node.lineno
+                yield ComparisonSite(
+                    line=line,
+                    col=node.col_offset + 1,
+                    end_line=self.ctx.statement_span(node)[1],
+                    snippet=self.ctx.snippet(line),
+                    op_text=op_text,
+                    left=left_desc,
+                    right=right_desc,
+                )
+
+    def _operand_desc(self, expr: ast.expr) -> tuple[str, str, str]:
+        if self.ctx.types.kind_of(expr) == FLOAT:
+            return ("float", "", "")
+        if isinstance(expr, ast.Call):
+            resolved = self.resolve_call(expr)
+            if resolved is not None:
+                return ("call", resolved[0], resolved[1])
+        return ("other", "", "")
+
+    def _rng_sites(self) -> Iterator[RNGSite]:
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            constructor = _rng_constructor(self.ctx, node.func)
+            if constructor is None:
+                continue
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            if not args:
+                continue  # REP002 already flags the unseeded form
+            prov = combine_provs([self.prov.prov_of(a) for a in args])
+            line = node.lineno
+            yield RNGSite(
+                line=line,
+                col=node.col_offset + 1,
+                end_line=self.ctx.statement_span(node)[1],
+                snippet=self.ctx.snippet(line),
+                constructor=constructor,
+                prov=prov,
+            )
+
+    # -- assembly ------------------------------------------------------------
+
+    def build(self) -> ModuleSummary:
+        return ModuleSummary(
+            module=self.module,
+            path=self.ctx.path,
+            is_package=self.is_package,
+            first_line=self.ctx.snippet(1),
+            imports=tuple(self._imports),
+            symbol_imports=tuple(
+                (name, mod, orig)
+                for name, (mod, orig) in sorted(self._symbol_imports.items())
+            ),
+            functions=tuple(self._function_summaries()),
+            comparisons=tuple(self._comparison_sites()),
+            rng_sites=tuple(self._rng_sites()),
+        )
+
+
+def build_module_summary(ctx: FileContext) -> ModuleSummary:
+    """Summarize one parsed module (phase 1's interprocedural output)."""
+    return _SummaryBuilder(ctx).build()

@@ -190,6 +190,7 @@ class TypeInference:
                 # methods each get a child scope.
                 self._walk_statements(stmt.body, dict(env))
                 continue
+            self._bind_expressions(stmt, env)
             if isinstance(stmt, ast.Assign):
                 kind = self.kind_in_env(stmt.value, env)
                 if kind is not None:
@@ -204,6 +205,18 @@ class TypeInference:
                     kind = self.kind_in_env(stmt.value, env)
                 if kind is not None:
                     env[stmt.target.id] = kind
+            elif isinstance(stmt, ast.AugAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                # kind propagation: `x /= m` is float regardless of x,
+                # `x += 0.5` promotes x, `count += 1` stays unknown
+                if isinstance(stmt.op, ast.Div):
+                    env[stmt.target.id] = FLOAT
+                elif (
+                    self.kind_in_env(stmt.value, env) == FLOAT
+                    or env.get(stmt.target.id) == FLOAT
+                ):
+                    env[stmt.target.id] = FLOAT
             # recurse into compound statements (same lexical scope)
             for field_name in ("body", "orelse", "finalbody"):
                 inner = getattr(stmt, field_name, None)
@@ -218,6 +231,36 @@ class TypeInference:
             items = getattr(stmt, "items", None)
             if items:  # with-statement: `as` targets stay unknown
                 pass
+
+    def _bind_expressions(self, stmt: ast.stmt, env: dict[str, str]) -> None:
+        """Expression-level bindings inside one statement.
+
+        Walrus targets bind in the enclosing scope; comprehensions get a
+        child environment (registered in ``_envs``) carrying their loop
+        targets, so ``loads[j]``-style element kinds survive into the
+        comprehension body.  Nested function bodies are handled by their
+        own scope and skipped here.
+        """
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # its own scope; _build_scope handles it
+            if isinstance(node, ast.NamedExpr) and isinstance(
+                node.target, ast.Name
+            ):
+                kind = self.kind_in_env(node.value, env)
+                if kind is not None:
+                    env[node.target.id] = kind
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                comp_env = dict(env)
+                for gen in node.generators:
+                    if (
+                        isinstance(gen.target, ast.Name)
+                        and self.kind_in_env(gen.iter, comp_env) == FLOAT_SEQ
+                    ):
+                        comp_env[gen.target.id] = FLOAT
+                self._envs[node] = comp_env
 
     # -- queries ------------------------------------------------------------
 
@@ -274,6 +317,8 @@ class TypeInference:
             ):
                 return FLOAT_SEQ
             return None
+        if isinstance(node, ast.NamedExpr):
+            return self.kind_in_env(node.value, env)
         if isinstance(node, ast.IfExp):
             return self.kind_in_env(node.body, env) or self.kind_in_env(
                 node.orelse, env
@@ -288,7 +333,9 @@ class TypeInference:
         if isinstance(node, ast.SetComp):
             return SET
         if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
-            if self.kind_in_env(node.elt, env) == FLOAT:
+            # the comprehension's own env (with loop targets bound) when
+            # the binding pass saw it; the enclosing env otherwise
+            if self.kind_in_env(node.elt, self._envs.get(node, env)) == FLOAT:
                 return FLOAT_SEQ
             return None
         if isinstance(node, ast.Subscript):
@@ -324,6 +371,8 @@ class TypeInference:
                 ):
                     return FLOAT_SEQ
                 return None
+            if name == "reduce":
+                return self._reduce_kind(node, env)
             return None
         dotted = _attr_call(node)
         if dotted is not None:
@@ -332,4 +381,14 @@ class TypeInference:
                 return FLOAT
             if base in ("np", "numpy") and attr in FLOAT_SEQ_NUMPY_FUNCS:
                 return FLOAT_SEQ
+            if base == "functools" and attr == "reduce":
+                return self._reduce_kind(node, env)
+        return None
+
+    def _reduce_kind(self, node: ast.Call, env: dict[str, str]) -> str | None:
+        """``reduce(op, floats[, initial])`` folds to a float."""
+        if len(node.args) >= 2 and self.kind_in_env(node.args[1], env) == FLOAT_SEQ:
+            return FLOAT
+        if len(node.args) >= 3 and self.kind_in_env(node.args[2], env) == FLOAT:
+            return FLOAT
         return None

@@ -1,0 +1,3 @@
+# lint-fixture-path: src/repro/experiments/__init__.py
+# lint-expect:
+from . import e01_demo  # noqa: F401 - registration side effect

@@ -1,0 +1,3 @@
+# lint-fixture-path: src/repro/experiments/e01_demo.py
+# lint-expect:
+REGISTERED = True

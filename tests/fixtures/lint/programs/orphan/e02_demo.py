@@ -1,0 +1,3 @@
+# lint-fixture-path: src/repro/experiments/e02_demo.py
+# lint-expect: REP009@1
+REGISTERED = True

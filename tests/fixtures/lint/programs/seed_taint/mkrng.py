@@ -1,0 +1,13 @@
+# lint-fixture-path: src/repro/workloads/mkrng.py
+# lint-expect: REP008@13
+import numpy as np
+
+from repro.workloads.seeds import derive, flaky_token
+
+
+def good_rng(base_seed, name):
+    return np.random.default_rng(derive(base_seed, name))
+
+
+def bad_rng(label):
+    return np.random.default_rng(flaky_token(label))

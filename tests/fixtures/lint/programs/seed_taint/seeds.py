@@ -1,0 +1,11 @@
+# lint-fixture-path: src/repro/workloads/seeds.py
+# lint-expect:
+import zlib
+
+
+def derive(base_seed, name):
+    return zlib.crc32(name) + base_seed
+
+
+def flaky_token(label):
+    return hash(label)

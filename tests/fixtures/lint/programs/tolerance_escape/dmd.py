@@ -1,0 +1,8 @@
+# lint-fixture-path: src/repro/core/dmd.py
+# lint-expect:
+def demand(tasks, horizon):
+    return float(len(tasks)) * 0.5
+
+
+def demand_via_chain(tasks, horizon):
+    return demand(tasks, horizon)

@@ -27,20 +27,23 @@ from repro.lint import (
     Baseline,
     LintConfig,
     all_rules,
+    lint_changed,
     lint_paths,
     lint_source,
+    lint_sources,
     run_self_test,
 )
 from repro.lint.baseline import BaselineEntry
 from repro.lint.engine import LintResult
 from repro.lint.findings import Finding
 from repro.lint.noqa import NoqaScanner
-from repro.lint.registry import resolve_selection
+from repro.lint.registry import ProgramRule, resolve_selection
 from repro.lint.reporters import render_json, render_sarif, render_text
-from repro.lint.selftest import PLANTED_CASES
+from repro.lint.selftest import PLANTED_CASES, PLANTED_PROGRAMS
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+PROGRAM_FIXTURES = FIXTURES / "programs"
 
 _EXPECT_RE = re.compile(r"(REP\d{3})@(\d+)")
 _PATH_RE = re.compile(r"lint-fixture-path:\s*(\S+)")
@@ -57,6 +60,23 @@ def _fixture_cases():
         yield pytest.param(source, vpath, expect, id=path.stem)
 
 
+def _program_fixture_cases():
+    """Each subdirectory of ``programs/`` is one multi-module program."""
+    for case_dir in sorted(p for p in PROGRAM_FIXTURES.iterdir() if p.is_dir()):
+        files: dict[str, str] = {}
+        expect: list[tuple[str, str, int]] = []
+        for path in sorted(case_dir.glob("*.py")):
+            source = path.read_text()
+            header = source.splitlines()[:2]
+            vpath = _PATH_RE.search(header[0]).group(1)
+            files[vpath] = source
+            expect.extend(
+                (rule, vpath, int(line))
+                for rule, line in _EXPECT_RE.findall(header[1])
+            )
+        yield pytest.param(files, sorted(expect), id=case_dir.name)
+
+
 class TestFixtures:
     """Every fixture produces exactly its declared finding list."""
 
@@ -67,8 +87,35 @@ class TestFixtures:
         assert got == expect
 
     def test_fixture_dir_is_nonempty(self):
-        # one fixture per rule plus the noqa and clean modules
-        assert len(list(FIXTURES.glob("*.py"))) >= len(all_rules()) + 2
+        file_rules = [
+            r for r in all_rules().values() if not isinstance(r, ProgramRule)
+        ]
+        program_rules = [
+            r for r in all_rules().values() if isinstance(r, ProgramRule)
+        ]
+        # one single-file fixture per per-file rule plus the noqa and
+        # clean modules ...
+        assert len(list(FIXTURES.glob("*.py"))) >= len(file_rules) + 2
+        # ... and at least one multi-module program per program rule
+        assert len(list(PROGRAM_FIXTURES.iterdir())) >= len(program_rules)
+
+
+class TestProgramFixtures:
+    """Multi-module programs produce exactly their declared findings."""
+
+    @pytest.mark.parametrize("files,expect", list(_program_fixture_cases()))
+    def test_program_fixture(self, files, expect):
+        findings = lint_sources(files, LintConfig())
+        got = sorted((f.rule, f.path, f.line) for f in findings)
+        assert got == expect
+
+    def test_single_module_alone_misses_the_program_finding(self):
+        """The REP007 fixture's violation is undetectable per-file — the
+        proof that the rule is genuinely interprocedural."""
+        case_dir = PROGRAM_FIXTURES / "tolerance_escape"
+        source = (case_dir / "chk.py").read_text()
+        findings = lint_source(source, "src/repro/core/chk.py", LintConfig())
+        assert [f for f in findings if f.rule == "REP007"] == []
 
 
 class TestSelfTest:
@@ -79,7 +126,13 @@ class TestSelfTest:
         assert result.ok, result.summary()
 
     def test_every_rule_has_a_planted_case(self):
-        assert {c.rule for c in PLANTED_CASES} == set(all_rules())
+        planted = {c.rule for c in PLANTED_CASES}
+        planted |= {p.rule for p in PLANTED_PROGRAMS}
+        assert planted == set(all_rules())
+
+    def test_program_cases_span_at_least_two_modules(self):
+        for program in PLANTED_PROGRAMS:
+            assert len(program.files) >= 2, program.rule
 
     def test_detects_a_silently_broken_rule(self):
         """If a rule stops firing, the self-test must fail — that is its
@@ -289,7 +342,57 @@ class TestReporters:
         loc = res["locations"][0]["physicalLocation"]
         assert loc["artifactLocation"]["uri"] == "src/repro/core/x.py"
         assert loc["region"]["startLine"] == 3
-        assert loc["region"]["startColumn"] >= 1
+        # Finding.col is 1-based already; SARIF must carry it verbatim
+        assert loc["region"]["startColumn"] == 5
+
+    def test_sarif_columns_stay_one_based(self):
+        """A finding in column 1 must report startColumn 1 (not 2): the
+        1-based column contract, pinned."""
+        result = LintResult(files=1)
+        result.findings = [Finding(
+            path="src/repro/core/x.py", line=3, col=1, rule="REP001",
+            message="m", snippet="s",
+        )]
+        doc = json.loads(render_sarif(result))
+        region = doc["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"]["region"]
+        assert region["startColumn"] == 1
+
+    def test_sarif_partial_fingerprints_survive_line_drift(self):
+        """partialFingerprints reuse the baseline's snippet identity, so
+        the same finding on a different line keeps its fingerprint and
+        GitHub code scanning does not re-open it."""
+        def doc_for(line):
+            result = LintResult(files=1)
+            result.findings = [Finding(
+                path="src/repro/core/x.py", line=line, col=5, rule="REP001",
+                message="m", snippet="return a <= b",
+            )]
+            return json.loads(render_sarif(result))
+
+        def fp(doc):
+            return doc["runs"][0]["results"][0]["partialFingerprints"]
+
+        drifted = fp(doc_for(40))
+        assert fp(doc_for(3)) == drifted
+        assert list(drifted) == ["reproLintFingerprint/v1"]
+        assert len(drifted["reproLintFingerprint/v1"]) == 20
+
+    def test_sarif_fingerprint_changes_with_snippet(self):
+        result = LintResult(files=1)
+        result.findings = [Finding(
+            path="src/repro/core/x.py", line=3, col=5, rule="REP001",
+            message="m", snippet="return a <= b * 2.0",
+        )]
+        doc = json.loads(render_sarif(result))
+        changed = doc["runs"][0]["results"][0]["partialFingerprints"]
+        result.findings = [Finding(
+            path="src/repro/core/x.py", line=3, col=5, rule="REP001",
+            message="m", snippet="return a <= b",
+        )]
+        original = json.loads(render_sarif(result))
+        assert changed != original["runs"][0]["results"][0][
+            "partialFingerprints"]
 
     def test_sarif_rule_index_consistent(self):
         doc = json.loads(render_sarif(self._result()))
@@ -465,3 +568,375 @@ class TestRuleEdgeCases:
             """
         )
         assert lint_source(src, "src/repro/runner/x.py") == []
+
+
+def _make_project(tmp_path):
+    """A small three-module project with one cross-module REP007 and one
+    local REP001 violation."""
+    pkg = tmp_path / "src" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "alpha.py").write_text(
+        "def weight(n) -> float:\n    return n / 2\n"
+    )
+    (pkg / "beta.py").write_text(
+        "from repro.core.alpha import weight\n"
+        "\n"
+        "\n"
+        "def heavy(n, cap: float) -> bool:\n"
+        "    return weight(n) <= cap\n"
+    )
+    (pkg / "gamma.py").write_text(
+        "def g(a: float, b: float):\n    return a <= b\n"
+    )
+    return tmp_path
+
+
+class TestCacheAndParallel:
+    """The incremental cache and the parallel phase-1 fan-out must be
+    invisible in the output: bit-identical findings, observable only
+    through the engine stats."""
+
+    def _config(self, root, **kw):
+        return LintConfig(root=root, **kw)
+
+    def test_cold_then_warm_identical_and_warm_skips(self, tmp_path):
+        root = _make_project(tmp_path)
+        cache = tmp_path / "lint-cache.pickle"
+        config = self._config(root, cache_path=cache)
+        cold = lint_paths(["src"], config)
+        assert cold.stats.analyzed == cold.stats.files > 0
+        assert cold.stats.cache_hits == 0
+        assert {f.rule for f in cold.findings} == {"REP001", "REP007"}
+
+        warm = lint_paths(["src"], self._config(root, cache_path=cache))
+        # warm-cache skip is asserted via engine stats, not timing
+        assert warm.stats.cache_hits == warm.stats.files
+        assert warm.stats.analyzed == 0
+        assert render_text(warm) == render_text(cold)
+        assert warm.exit_code() == cold.exit_code()
+
+    def test_transitive_invalidation_via_import_graph(self, tmp_path):
+        root = _make_project(tmp_path)
+        cache = tmp_path / "lint-cache.pickle"
+        lint_paths(["src"], self._config(root, cache_path=cache))
+
+        # edit alpha: beta (imports alpha) must be re-analyzed too, even
+        # though beta's own content is unchanged
+        alpha = root / "src" / "repro" / "core" / "alpha.py"
+        alpha.write_text("def weight(n) -> float:\n    return n / 4\n")
+        result = lint_paths(["src"], self._config(root, cache_path=cache))
+        assert result.stats.analyzed == 2  # alpha (edited) + beta (dep)
+        assert result.stats.cache_invalidated == 1  # beta, by imports
+        assert result.stats.cache_hits == result.stats.files - 2
+        # the interprocedural finding is still there
+        assert "REP007" in {f.rule for f in result.findings}
+
+    def test_cache_discarded_on_rule_selection_change(self, tmp_path):
+        root = _make_project(tmp_path)
+        cache = tmp_path / "lint-cache.pickle"
+        lint_paths(["src"], self._config(root, cache_path=cache))
+        narrowed = self._config(
+            root, cache_path=cache, select=("REP001",)
+        )
+        result = lint_paths(["src"], narrowed)
+        # different selection: the cache must not replay old findings
+        assert result.stats.cache_hits == 0
+        assert {f.rule for f in result.findings} == {"REP001"}
+
+    def test_corrupt_cache_degrades_to_cold_start(self, tmp_path):
+        root = _make_project(tmp_path)
+        cache = tmp_path / "lint-cache.pickle"
+        config = self._config(root, cache_path=cache)
+        expected = render_text(lint_paths(["src"], config))
+        cache.write_bytes(b"\x80\x04 definitely not a cache")
+        result = lint_paths(["src"], config)
+        assert result.stats.cache_hits == 0
+        assert render_text(result) == expected
+
+    def test_parallel_jobs_bit_identical(self, tmp_path):
+        root = _make_project(tmp_path)
+        serial = lint_paths(["src"], self._config(root))
+        parallel = lint_paths(["src"], self._config(root, jobs=2))
+        assert parallel.stats.jobs == 2
+        assert render_text(parallel) == render_text(serial)
+        # JSON differs only in the stats block, by design
+        par_json = json.loads(render_json(parallel))
+        ser_json = json.loads(render_json(serial))
+        par_json.pop("stats")
+        ser_json.pop("stats")
+        assert par_json == ser_json
+
+    def test_jobs_and_warm_cache_identical_on_real_src(self, tmp_path):
+        """The acceptance criterion, verbatim: ``repro lint src/`` with
+        ``--jobs 4`` and with a warm cache are byte-identical to the
+        cold serial run, and the warm run demonstrably skips every
+        unchanged module (via stats, not timing)."""
+        serial = lint_paths([REPO_ROOT / "src"], LintConfig(root=REPO_ROOT))
+        cache = tmp_path / "lint-cache.pickle"
+        cold_parallel = lint_paths(
+            [REPO_ROOT / "src"],
+            LintConfig(root=REPO_ROOT, jobs=4, cache_path=cache),
+        )
+        warm = lint_paths(
+            [REPO_ROOT / "src"],
+            LintConfig(root=REPO_ROOT, jobs=4, cache_path=cache),
+        )
+        assert render_text(cold_parallel) == render_text(serial)
+        assert render_text(warm) == render_text(serial)
+        assert cold_parallel.exit_code() == serial.exit_code()
+        assert warm.exit_code() == serial.exit_code()
+        assert warm.stats.cache_hits == warm.stats.files == serial.files
+        assert warm.stats.analyzed == 0
+
+
+class TestLintChanged:
+    """Pre-commit mode: change-scoped reporting with a whole-program
+    fallback when the import graph says the change is non-local."""
+
+    def test_local_change_scopes_the_report(self, tmp_path):
+        root = _make_project(tmp_path)
+        config = LintConfig(root=root)
+        # gamma is imported by nothing and is in no registry package
+        result, fallback = lint_changed(
+            ["src/repro/core/gamma.py"], config, search_paths=["src"]
+        )
+        assert fallback is None
+        assert {f.path for f in result.findings} == {
+            "src/repro/core/gamma.py"
+        }
+        assert [f.rule for f in result.findings] == ["REP001"]
+
+    def test_imported_module_falls_back_to_whole_program(self, tmp_path):
+        root = _make_project(tmp_path)
+        config = LintConfig(root=root)
+        # alpha is imported by beta: the change is non-local
+        result, fallback = lint_changed(
+            ["src/repro/core/alpha.py"], config, search_paths=["src"]
+        )
+        assert fallback is not None and "non-local" in fallback
+        # full report: beta's REP007 and gamma's REP001 both present
+        assert {f.rule for f in result.findings} == {"REP001", "REP007"}
+
+    def test_registry_package_change_falls_back(self, tmp_path):
+        root = _make_project(tmp_path)
+        exp = root / "src" / "repro" / "experiments"
+        exp.mkdir(parents=True)
+        (exp / "__init__.py").write_text("from . import e01_demo\n")
+        (exp / "e01_demo.py").write_text("REGISTERED = True\n")
+        config = LintConfig(root=root)
+        result, fallback = lint_changed(
+            ["src/repro/experiments/e01_demo.py"], config, search_paths=["src"]
+        )
+        assert fallback is not None and "registry" in fallback
+
+    def test_changed_mode_via_cli(self, tmp_path, capsys):
+        root = _make_project(tmp_path)
+        code = main([
+            "lint", "src/repro/core/gamma.py", "--root", str(root),
+            "--changed", "--no-baseline",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gamma.py" in out and "REP007" not in out
+
+
+class TestNoqaSpans:
+    """Suppressions match anywhere in the statement's lineno-end_lineno
+    span, not just the finding's anchor line."""
+
+    _MULTILINE = textwrap.dedent(
+        """\
+        def f(a: float, b: float):
+            return (a
+                    <= b){noqa}
+        """
+    )
+
+    def test_suppression_on_anchor_line(self):
+        src = textwrap.dedent(
+            """\
+            def f(a: float, b: float):
+                return (a  # repro: noqa[REP001]
+                        <= b)
+            """
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_suppression_on_closing_line(self):
+        src = self._MULTILINE.format(noqa="  # repro: noqa[REP001]")
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_without_suppression_still_fires(self):
+        src = self._MULTILINE.format(noqa="")
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+        (finding,) = findings
+        assert finding.last_line > finding.line  # the span is real
+
+    def test_span_suppression_counts_as_used(self):
+        src = self._MULTILINE.format(noqa="  # repro: noqa[REP001]")
+        scanner = NoqaScanner("src/repro/core/x.py", src)
+        raw = lint_source(src, "src/repro/core/x.py", apply_noqa=False)
+        assert scanner.filter(raw) == []
+        assert scanner.unused == []
+
+    def test_noqa_outside_span_is_unused(self):
+        src = textwrap.dedent(
+            """\
+            def f(a: float, b: float):
+                return (a
+                        <= b)
+
+
+            x = 1  # repro: noqa[REP001]
+            """
+        )
+        scanner = NoqaScanner("src/repro/core/x.py", src)
+        raw = lint_source(src, "src/repro/core/x.py", apply_noqa=False)
+        assert len(scanner.filter(raw)) == 1  # finding not suppressed
+        assert len(scanner.unused) == 1  # and the noqa matched nothing
+
+    def test_loop_body_noqa_does_not_silence_header_finding(self):
+        """A block statement's span covers its header only: a noqa on a
+        body line must not reach a finding anchored on the ``for``."""
+        src = textwrap.dedent(
+            """\
+            def digest(task_ids: set):
+                out = []
+                for tid in task_ids:
+                    out.append(tid)  # repro: noqa[REP005]
+                return out
+            """
+        )
+        findings = lint_source(src, "src/repro/io_/x.py")
+        assert [f.rule for f in findings] == ["REP005"]
+
+
+class TestTypeInferEdgeCases:
+    """Walrus, augmented assignment, comprehension scopes, ternaries,
+    and functools.reduce all propagate float kinds (exercised through
+    REP001, which only fires when both operands infer as float)."""
+
+    def test_walrus_target_infers_float(self):
+        src = textwrap.dedent(
+            """\
+            def f(b: float):
+                x = (y := b / 2.0)
+                return y <= b
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_walrus_expression_kind_is_value_kind(self):
+        src = textwrap.dedent(
+            """\
+            def f(b: float):
+                return (x := b / 2.0) <= b
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_augassign_div_forces_float(self):
+        src = textwrap.dedent(
+            """\
+            def f(total, n, cap: float):
+                total /= n
+                return total <= cap
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_augassign_propagates_float_operand(self):
+        src = textwrap.dedent(
+            """\
+            def f(total, delta: float, cap: float):
+                total += delta
+                return total <= cap
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert "REP001" in [f.rule for f in findings]
+
+    def test_augassign_int_stays_unknown(self):
+        src = textwrap.dedent(
+            """\
+            def f(count, cap: float):
+                count += 1
+                return count <= cap
+            """
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_comprehension_target_bound_from_float_seq(self):
+        src = textwrap.dedent(
+            """\
+            def f(loads: list[float], cap: float):
+                return [x <= cap for x in loads]
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_comprehension_target_unknown_iter_stays_unknown(self):
+        src = textwrap.dedent(
+            """\
+            def f(items, cap: float):
+                return [x <= cap for x in items]
+            """
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
+
+    def test_ternary_propagates_float(self):
+        src = textwrap.dedent(
+            """\
+            def f(a: float, b: float, flip):
+                val = a if flip else b
+                return val <= b
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_bare_reduce_over_float_seq(self):
+        src = textwrap.dedent(
+            """\
+            from functools import reduce
+
+
+            def f(xs: list[float], cap: float):
+                total = reduce(lambda p, q: p + q, xs)
+                return total <= cap
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_functools_reduce_with_float_initial(self):
+        src = textwrap.dedent(
+            """\
+            import functools
+
+
+            def f(xs, cap: float):
+                total = functools.reduce(lambda p, q: p + q, xs, 0.0)
+                return total <= cap
+            """
+        )
+        findings = lint_source(src, "src/repro/core/x.py")
+        assert [f.rule for f in findings] == ["REP001"]
+
+    def test_reduce_over_unknown_seq_stays_unknown(self):
+        src = textwrap.dedent(
+            """\
+            from functools import reduce
+
+
+            def f(xs, cap: float):
+                total = reduce(lambda p, q: p + q, xs)
+                return total <= cap
+            """
+        )
+        assert lint_source(src, "src/repro/core/x.py") == []
