@@ -30,6 +30,7 @@ from ..baselines.exact import (
 from ..core.lp import lp_feasible
 from ..core.model import Platform, TaskSet
 from ..core.partition import first_fit_partition
+from ..kernels import first_fit_batch
 from ..runner import run_trials
 from ..workloads.builder import generate_taskset
 from ..workloads.campaigns import Campaign, Trial, campaign_seed
@@ -150,6 +151,63 @@ def _acceptance_trial(
     }
 
 
+#: Admission tests :func:`repro.kernels.first_fit_batch` implements.
+_KERNEL_FF_TESTS = ("edf", "rms-ll")
+
+
+@dataclass(frozen=True)
+class _AcceptanceBatch:
+    """Picklable whole-chunk evaluator for :func:`acceptance_sweep`.
+
+    Draws every trial's task set exactly as :func:`_acceptance_trial`
+    does (same per-trial RNG stream), then evaluates each
+    :class:`FirstFitTester` over the chunk with *one*
+    :func:`repro.kernels.first_fit_batch` call; testers the kernels do
+    not cover (LP, exact adversaries, custom predicates) fall back to
+    the scalar per-instance call.  Record-identical to the per-trial
+    path — the kernels are bit-identical to the scalar partitioner.
+    """
+
+    platform: Platform
+    testers: tuple[tuple[str, Tester], ...]
+    n_tasks: int
+    cap: float
+    backend: str
+
+    def __call__(self, trials: Sequence[Trial]) -> list[dict[str, bool]]:
+        tasksets = []
+        for trial in trials:
+            rng = trial.rng()
+            total = trial.params["U/S"] * self.platform.total_speed
+            tasksets.append(
+                generate_taskset(
+                    rng, self.n_tasks, total, u_max=min(self.cap, total)
+                )
+            )
+        instances = [(ts, self.platform) for ts in tasksets]
+        columns: list[list[bool]] = []
+        for _, tester in self.testers:
+            if (
+                isinstance(tester, FirstFitTester)
+                and tester.test in _KERNEL_FF_TESTS
+            ):
+                results = first_fit_batch(
+                    instances,
+                    tester.test,
+                    alpha=tester.alpha,
+                    backend=self.backend,
+                )
+                columns.append([r.success for r in results])
+            else:
+                columns.append(
+                    [bool(tester(ts, self.platform)) for ts in tasksets]
+                )
+        names = [nm for nm, _ in self.testers]
+        return [
+            dict(zip(names, flags)) for flags in zip(*columns)
+        ] if trials else []
+
+
 def acceptance_sweep(
     seed: int | np.random.Generator,
     platform: Platform,
@@ -164,6 +222,7 @@ def acceptance_sweep(
     jobs: int | None = 1,
     chunk_size: int | None = None,
     name: str = "acceptance",
+    backend: str | None = None,
 ) -> AcceptanceCurve:
     """Measure acceptance rates on UUniFast task sets.
 
@@ -177,6 +236,11 @@ def acceptance_sweep(
     independently seeded trial fanned out over ``jobs`` workers; the
     resulting curve is bit-identical for every ``jobs`` value.  ``name``
     labels the campaign and is folded into the trial seeds.
+
+    ``backend`` (``scalar`` / ``kernel`` / ``numpy``) routes the
+    first-fit testers through :func:`repro.kernels.first_fit_batch`, a
+    whole trial chunk per call; ``None`` keeps the per-trial scalar
+    path.  The curve is bit-identical either way.
     """
     if samples < 1:
         raise ValueError("samples must be positive")
@@ -195,7 +259,25 @@ def acceptance_sweep(
         n_tasks=n_tasks,
         cap=cap,
     )
-    run = run_trials(fn, campaign, jobs=jobs, chunk_size=chunk_size, label=name)
+    batch_fn = None
+    if backend is not None:
+        from ..kernels import resolve_backend
+
+        batch_fn = _AcceptanceBatch(
+            platform=platform,
+            testers=tuple(testers.items()),
+            n_tasks=n_tasks,
+            cap=cap,
+            backend=resolve_backend(backend),
+        )
+    run = run_trials(
+        fn,
+        campaign,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        label=name,
+        batch_fn=batch_fn,
+    )
     names = list(testers)
     counts = {nm: [0] * len(xs) for nm in names}
     records = iter(run.records)

@@ -70,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the verdict as JSON (the same report schema repro.service serves)",
     )
+    p.add_argument(
+        "--backend",
+        choices=["scalar", "kernel", "numpy"],
+        default=None,
+        help=(
+            "evaluation backend (repro.kernels); verdicts are "
+            "bit-identical, the JSON report records the choice"
+        ),
+    )
 
     p = sub.add_parser("generate", help="draw a synthetic instance as JSON")
     p.add_argument("output", type=Path)
@@ -103,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "worker processes for campaign trials (0 or omitted: all cores; "
             "1: serial in-process). Results are identical for every value."
+        ),
+    )
+    p.add_argument(
+        "--backend",
+        choices=["scalar", "kernel", "numpy"],
+        default=None,
+        help=(
+            "batch evaluation backend for experiments with kernel-backed "
+            "sweeps (E2/E3/E7/E9); curves are bit-identical"
         ),
     )
 
@@ -149,6 +167,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="canonical-instance verdict cache capacity",
     )
     p.add_argument(
+        "--backend",
+        choices=["scalar", "kernel", "numpy"],
+        default=None,
+        help=(
+            "evaluation backend for cache misses (default: legacy scalar "
+            "path); responses gain a 'backend' provenance key"
+        ),
+    )
+    p.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
     )
 
@@ -189,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         default=None,
         help="invariant to check (repeatable; default: the full lattice)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=["kernel", "numpy"],
+        action="append",
+        dest="backends",
+        default=None,
+        help=(
+            "kernel backend the backend-equivalence invariant audits "
+            "(repeatable; default: every available one)"
+        ),
     )
     p.add_argument(
         "--campaign",
@@ -250,15 +288,32 @@ def _load_instance(path: Path):
 
 def _cmd_test(args: argparse.Namespace) -> int:
     taskset, platform = _load_instance(args.instance)
-    report = feasibility_test(
-        taskset, platform, args.scheduler, args.adversary, alpha=args.alpha
-    )
+    if args.backend is None:
+        report = feasibility_test(
+            taskset, platform, args.scheduler, args.adversary, alpha=args.alpha
+        )
+    else:
+        from .kernels import test_feasibility_batch
+
+        report = test_feasibility_batch(
+            [(taskset, platform)],
+            args.scheduler,
+            args.adversary,
+            alpha=args.alpha,
+            backend=args.backend,
+        )[0]
     if args.json:
         import json
 
         from .io_.serialize import report_to_dict
 
-        print(json.dumps(report_to_dict(report), indent=2, sort_keys=True))
+        print(
+            json.dumps(
+                report_to_dict(report, backend=args.backend),
+                indent=2,
+                sort_keys=True,
+            )
+        )
         return 0 if report.accepted else 1
     print(f"verdict: {'ACCEPTED' if report.accepted else 'REJECTED'}")
     print(f"alpha: {report.alpha:g}  (theorem {report.theorem})")
@@ -339,13 +394,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     kwargs = {"scale": args.scale}
     if args.seed is not None:
         kwargs["seed"] = args.seed
-    accepts_jobs = "jobs" in inspect.signature(fn).parameters
+    params = inspect.signature(fn).parameters
+    accepts_jobs = "jobs" in params
     if accepts_jobs:
         # None (flag omitted) -> 0 -> resolve to all cores inside the runner.
         kwargs["jobs"] = args.jobs if args.jobs is not None else 0
     elif args.jobs not in (None, 1):
         print(
             f"note: {args.id} has no campaign fan-out; --jobs ignored",
+            file=sys.stderr,
+        )
+    if "backend" in params:
+        kwargs["backend"] = args.backend
+    elif args.backend is not None:
+        print(
+            f"note: {args.id} has no kernel-backed sweep; --backend ignored",
             file=sys.stderr,
         )
     with telemetry() as tele:
@@ -447,6 +510,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.port,
         jobs=args.jobs,
         cache_size=args.cache_size,
+        backend=args.backend,
         quiet=not args.verbose,
     )
 
@@ -473,6 +537,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         profiles=args.profiles,
         checks=args.checks,
+        backends=args.backends,
         shrink=not args.no_shrink,
         out_dir=args.out_dir,
         campaign_name=args.campaign,

@@ -26,6 +26,7 @@ cf. the approximate demand-bound approach of [7]).
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -41,6 +42,9 @@ __all__ = [
     "edf_demand_feasible",
     "qpa_edf_feasible",
     "EDFDemandBoundTest",
+    "ProfileCacheStats",
+    "profile_cache_stats",
+    "reset_profile_cache",
 ]
 
 
@@ -187,19 +191,85 @@ class _DemandProfile:
 
 
 #: Bounded FIFO cache of demand profiles keyed by the task parameters
-#: (names excluded — they do not affect the mathematics).
+#: (names excluded — they do not affect the mathematics).  Eviction is
+#: least-recently-used: a hit refreshes its entry, so the candidate sets a
+#: long fuzz or branch-and-bound campaign keeps re-probing stay resident
+#: while one-shot instances age out.
 _PROFILES: dict[tuple, _DemandProfile] = {}
 _PROFILE_CACHE_MAX = 4096
+_PROFILE_HITS = 0
+_PROFILE_MISSES = 0
+_PROFILE_EVICTIONS = 0
+
+
+@dataclass(frozen=True)
+class ProfileCacheStats:
+    """Snapshot of the demand-profile cache counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_ratio(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_ratio": self.hit_ratio,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"dbf profile cache: {self.hits} hits / "
+            f"{self.hits + self.misses} lookups "
+            f"({self.hit_ratio:.0%}), {self.evictions} evictions, "
+            f"size {self.size}/{self.capacity}"
+        )
+
+
+def profile_cache_stats() -> ProfileCacheStats:
+    """Current demand-profile cache counters (per process)."""
+    return ProfileCacheStats(
+        hits=_PROFILE_HITS,
+        misses=_PROFILE_MISSES,
+        evictions=_PROFILE_EVICTIONS,
+        size=len(_PROFILES),
+        capacity=_PROFILE_CACHE_MAX,
+    )
+
+
+def reset_profile_cache() -> None:
+    """Drop every cached profile and zero the counters (test isolation)."""
+    global _PROFILE_HITS, _PROFILE_MISSES, _PROFILE_EVICTIONS
+    _PROFILES.clear()
+    _PROFILE_HITS = _PROFILE_MISSES = _PROFILE_EVICTIONS = 0
 
 
 def _profile(tasks: Sequence[Task]) -> _DemandProfile:
+    global _PROFILE_HITS, _PROFILE_MISSES, _PROFILE_EVICTIONS
     key = tuple((t.wcet, t.period, t.deadline) for t in tasks)
     prof = _PROFILES.get(key)
     if prof is None:
+        _PROFILE_MISSES += 1
         if len(_PROFILES) >= _PROFILE_CACHE_MAX:
             _PROFILES.pop(next(iter(_PROFILES)))
+            _PROFILE_EVICTIONS += 1
         prof = _DemandProfile(tuple(tasks))
-        _PROFILES[key] = prof
+    else:
+        _PROFILE_HITS += 1
+        # refresh recency: dicts preserve insertion order, so re-inserting
+        # moves the entry behind every colder one
+        del _PROFILES[key]
+    _PROFILES[key] = prof
     return prof
 
 

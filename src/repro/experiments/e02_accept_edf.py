@@ -26,7 +26,10 @@ GRID = (0.60, 0.70, 0.80, 0.85, 0.90, 0.925, 0.95, 0.975, 1.0)
 
 @register("e02", "EDF acceptance ratio vs normalized utilization (Fig. 1)")
 def run(
-    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+    seed: int = DEFAULT_SEED,
+    scale: Scale = "full",
+    jobs: int | None = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 40 if scale == "quick" else 400
@@ -44,6 +47,7 @@ def run(
         samples=samples,
         jobs=jobs,
         name="e02/accept-edf",
+        backend=backend,
     )
     return ExperimentResult(
         experiment_id="e02",

@@ -24,7 +24,10 @@ GRID = (0.40, 0.50, 0.60, 0.65, 0.70, 0.75, 0.80, 0.90, 1.0)
 
 @register("e03", "RMS acceptance ratio vs normalized utilization (Fig. 2)")
 def run(
-    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+    seed: int = DEFAULT_SEED,
+    scale: Scale = "full",
+    jobs: int | None = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     platform = geometric_platform(4, 8.0)
     samples = 30 if scale == "quick" else 300
@@ -43,6 +46,7 @@ def run(
         samples=samples,
         jobs=jobs,
         name="e03/accept-rms",
+        backend=backend,
     )
     return ExperimentResult(
         experiment_id="e03",

@@ -22,7 +22,10 @@ RATIOS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
 
 @register("e07", "Heterogeneity sweep at constant capacity (Fig. 5)")
 def run(
-    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+    seed: int = DEFAULT_SEED,
+    scale: Scale = "full",
+    jobs: int | None = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     samples = 25 if scale == "quick" else 200
     m = 6
@@ -40,6 +43,7 @@ def run(
             samples=samples,
             jobs=jobs,
             name=f"e07/accept/{ratio:g}",
+            backend=backend,
         )
         study = empirical_speedup_study(
             seed,

@@ -19,7 +19,10 @@ TASKS_PER_MACHINE = (1, 2, 4, 8, 16)
 
 @register("e09", "EDF-vs-RMS acceptance gap vs tasks per machine (Fig. 6)")
 def run(
-    seed: int = DEFAULT_SEED, scale: Scale = "full", jobs: int | None = 1
+    seed: int = DEFAULT_SEED,
+    scale: Scale = "full",
+    jobs: int | None = 1,
+    backend: str | None = None,
 ) -> ExperimentResult:
     m = 4
     platform = identical_platform(m)
@@ -41,6 +44,7 @@ def run(
             samples=samples,
             jobs=jobs,
             name=f"e09/gap/{k}",
+            backend=backend,
         )
         rows.append(
             {

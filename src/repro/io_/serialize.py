@@ -164,15 +164,23 @@ def certificate_from_dict(data: dict[str, Any]) -> FailureCertificate:
     )
 
 
-def report_to_dict(report: "FeasibilityReport") -> dict[str, Any]:
+def report_to_dict(
+    report: "FeasibilityReport", *, backend: str | None = None
+) -> dict[str, Any]:
     """Plain-dict form of a :class:`~repro.core.feasibility.FeasibilityReport`.
 
     This is *the* JSON schema for feasibility verdicts — the CLI ``test
     --json`` output and every ``repro.service`` response use it, so the
     two never drift apart.  ``guarantee`` is derived text, ignored by
     :func:`report_from_dict`.
+
+    ``backend`` records which evaluation backend produced the report
+    (``scalar`` / ``kernel`` / ``numpy``); it is provenance only — the
+    key is omitted when ``None`` and ignored by :func:`report_from_dict`,
+    so reports from different backends remain dict-identical apart from
+    it (the ``backend-equivalence`` oracle check relies on that).
     """
-    return {
+    out: dict[str, Any] = {
         "accepted": report.accepted,
         "scheduler": report.scheduler,
         "adversary": report.adversary,
@@ -186,6 +194,9 @@ def report_to_dict(report: "FeasibilityReport") -> dict[str, Any]:
             else None
         ),
     }
+    if backend is not None:
+        out["backend"] = backend
+    return out
 
 
 def report_from_dict(data: dict[str, Any]) -> "FeasibilityReport":

@@ -1,0 +1,22 @@
+"""Shared report metadata threaded through the kernel backends.
+
+Lives in its own tiny module so :mod:`repro.kernels.batch` (the public
+API and pure-Python assembler) and :mod:`repro.kernels.lockstep` (the
+numpy backend, imported lazily) can both depend on it without importing
+each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReportMeta"]
+
+
+@dataclass(frozen=True)
+class ReportMeta:
+    """Theorem-level fields every report of one batch call shares."""
+
+    scheduler: str
+    adversary: str
+    theorem: str

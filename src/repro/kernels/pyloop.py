@@ -1,0 +1,100 @@
+"""Pure-Python batch first-fit over flat stdlib-array buffers.
+
+The ``kernel`` backend: the §III first-fit loop restructured from
+objects to structure-of-arrays.  Per shard — ``B`` instances sharing one
+(task count, speed vector) shape — the running Neumaier (sum,
+compensation) machine state lives in one flat ``array('d')`` of
+``B * m`` slots addressed through a ``memoryview``; tasks stream through
+in the cached utilization-descending order.
+
+Every float operation replays the scalar path exactly:
+
+* the admission probe is :meth:`_NeumaierSum.peek` inlined —
+  ``t = s + u``, the branch on ``s >= u`` (operands are non-negative
+  utilization sums, so the scalar path's ``abs`` calls resolve to the
+  same branch), then ``t + (comp + pre)``;
+* the tolerant comparison is :func:`~repro.core.model.leq` inlined with
+  the same ``max`` and the same evaluation order;
+* placement reuses the probe's ``t``/``pre`` intermediates — the same
+  additions :meth:`_NeumaierSum.add` performs on identical inputs.
+
+No object allocation, attribute dispatch, or re-sorting happens per
+probe — that (not different arithmetic) is where the speedup over the
+scalar loop comes from, which is why the verdicts can be bit-identical.
+"""
+
+from __future__ import annotations
+
+from ..core.model import EPS
+from .buffers import PlatformEntry, TasksetEntry, shard_scratch
+
+__all__ = ["solve_shard"]
+
+#: Raw per-instance outcome: (machine per sorted position, sorted
+#: position of the first failure or -1, final per-machine loads).
+RawResult = tuple[list[int], int, list[float]]
+
+
+def solve_shard(
+    entries: list[TasksetEntry],
+    pf: PlatformEntry,
+    rms: bool,
+    ll_tab: list[float],
+) -> list[RawResult]:
+    """First-fit every instance of one uniform shard.
+
+    ``ll_tab[c]`` must hold ``liu_layland_bound(c)`` for every count up
+    to the shard's task count plus one (ignored when ``rms`` is False).
+    """
+    S = pf.scaled
+    SM = pf.scaled_max1
+    m = len(S)
+    scratch = shard_scratch(len(entries) * m)
+    sums = memoryview(scratch.sums)
+    comps = memoryview(scratch.comps)
+    counts = memoryview(scratch.counts)
+    eps = EPS
+    out: list[RawResult] = []
+    base = 0
+    for ent in entries:
+        chosen: list[int] = []
+        failed_k = -1
+        for k, u in enumerate(ent.u_sorted):
+            placed = -1
+            for j in range(m):
+                i = base + j
+                s = sums[i]
+                # _NeumaierSum.peek, inlined (operands non-negative)
+                t = s + u
+                if s >= u:
+                    pre = (s - t) + u
+                else:
+                    pre = (u - t) + s
+                total = t + (comps[i] + pre)
+                # leq(total, cap), inlined: mx = max(1, total, cap)
+                if rms:
+                    cap = ll_tab[counts[i] + 1] * S[j]
+                    mx = total if total > cap else cap
+                    if mx < 1.0:
+                        mx = 1.0
+                else:
+                    cap = S[j]
+                    sm = SM[j]
+                    mx = total if total > sm else sm
+                # leq() inlined verbatim for the hot loop (same max, same order)
+                if total <= cap + eps * mx:
+                    placed = j
+                    # _NeumaierSum.add on the same inputs: reuse t and pre
+                    sums[i] = t
+                    comps[i] = comps[i] + pre
+                    if rms:
+                        counts[i] = counts[i] + 1
+                    break
+            if placed < 0:
+                failed_k = k
+                break
+            chosen.append(placed)
+        loads = [sums[base + j] + comps[base + j] for j in range(m)]
+        out.append((chosen, failed_k, loads))
+        base += m
+    return out

@@ -71,6 +71,7 @@ __all__ = [
     "OracleConfig",
     "CHECKS",
     "PER_TEST_CHECKS",
+    "check_backend_equivalence",
     "check_instance",
 ]
 
@@ -101,6 +102,9 @@ class OracleConfig:
     overrides: Mapping[str, AdmissionTest] | None = None
     #: invariant names to run (default: all of :data:`CHECKS`)
     checks: tuple[str, ...] = ()
+    #: kernel backends the ``backend-equivalence`` invariant audits
+    #: (empty: every available non-scalar backend)
+    backends: tuple[str, ...] = ()
     #: robustness margin for cross-test implications (see module docs)
     margin: float = 1e-6
     #: node budgets for the exact branch-and-bound adversaries
@@ -510,6 +514,126 @@ def check_service_roundtrip(
     return out
 
 
+def check_backend_equivalence(
+    taskset: TaskSet, platform: Platform, config: OracleConfig
+) -> list[Violation]:
+    """Every :mod:`repro.kernels` backend reproduces the scalar path
+    **bit-for-bit** — same verdict, same partition (assignment, loads,
+    order), same certificate — with no tolerance margin.
+
+    This is a same-path comparison in the module-docstring sense: the
+    kernels are required to replay the scalar float operations exactly
+    (compensated accumulation, crossover-threshold admission), so any
+    difference, however small, is a bug.  Each instance is checked as a
+    singleton batch *and* inside a two-element shard (with its reversed
+    permutation, which shares the shard shape), across both theorem
+    schedulers and an explicit non-default alpha, plus the batched
+    primitives.
+    """
+    from ..core.bounds import liu_layland_bound
+    from ..core.dbf import dbf_taskset
+    from ..kernels import (
+        available_kernel_backends,
+        dbf_demand_batch,
+        test_feasibility_batch,
+        utilization_bounds_batch,
+    )
+
+    if not taskset.is_implicit:
+        # Every backend rejects constrained deadlines with the same
+        # ValueError before evaluating; nothing to compare.
+        return []
+    audited = tuple(
+        b for b in (config.backends or available_kernel_backends())
+        if b != "scalar"
+    )
+    out: list[Violation] = []
+    reversed_ts = taskset.subset(range(len(taskset) - 1, -1, -1))
+    for scheduler in ("edf", "rms"):
+        for alpha in (None, 1.0):
+            direct = [
+                report_to_dict(
+                    feasibility_test(
+                        ts, platform, scheduler, "partitioned", alpha=alpha
+                    )
+                )
+                for ts in (taskset, reversed_ts)
+            ]
+            for backend in audited:
+                got = [
+                    report_to_dict(r)
+                    for r in test_feasibility_batch(
+                        [(taskset, platform), (reversed_ts, platform)],
+                        scheduler,
+                        "partitioned",
+                        alpha=alpha,
+                        backend=backend,
+                    )
+                ]
+                single = report_to_dict(
+                    test_feasibility_batch(
+                        [(taskset, platform)],
+                        scheduler,
+                        "partitioned",
+                        alpha=alpha,
+                        backend=backend,
+                    )[0]
+                )
+                for label, scalar_d, batch_d in (
+                    ("batch[0]", direct[0], got[0]),
+                    ("batch[1]", direct[1], got[1]),
+                    ("singleton", direct[0], single),
+                ):
+                    if batch_d != scalar_d:
+                        keys = sorted(
+                            k
+                            for k in set(scalar_d) | set(batch_d)
+                            if scalar_d.get(k) != batch_d.get(k)
+                        )
+                        out.append(
+                            Violation(
+                                "backend-equivalence",
+                                f"{backend} {label} report != scalar for "
+                                f"{scheduler}/partitioned alpha={alpha!r}; "
+                                f"differing keys: {keys}",
+                            )
+                        )
+    # Batched primitives: exact equality against their scalar definitions.
+    times = sorted({t.deadline for t in taskset} | {t.period for t in taskset})
+    scalar_bounds = [
+        (ts.total_utilization, liu_layland_bound(len(ts)))
+        for ts in (taskset, reversed_ts)
+    ]
+    scalar_dbf = [
+        [dbf_taskset(ts.tasks, t) for t in times]
+        for ts in (taskset, reversed_ts)
+    ]
+    for backend in audited:
+        if (
+            utilization_bounds_batch(
+                [taskset, reversed_ts], backend=backend
+            )
+            != scalar_bounds
+        ):
+            out.append(
+                Violation(
+                    "backend-equivalence",
+                    f"{backend} utilization_bounds_batch != scalar",
+                )
+            )
+        if (
+            dbf_demand_batch([taskset, reversed_ts], times, backend=backend)
+            != scalar_dbf
+        ):
+            out.append(
+                Violation(
+                    "backend-equivalence",
+                    f"{backend} dbf_demand_batch != scalar",
+                )
+            )
+    return out
+
+
 #: All invariant checks by name, in deterministic execution order.
 CHECKS: dict[str, Callable[[TaskSet, Platform, OracleConfig], list[Violation]]] = {
     "single-machine-lattice": check_single_machine_lattice,
@@ -520,6 +644,7 @@ CHECKS: dict[str, Callable[[TaskSet, Platform, OracleConfig], list[Violation]]] 
     "certificates": check_certificates,
     "roundtrip": check_roundtrip,
     "service-roundtrip": check_service_roundtrip,
+    "backend-equivalence": check_backend_equivalence,
 }
 
 #: The sub-lattice that exercises one admission test in isolation —

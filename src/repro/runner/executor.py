@@ -195,6 +195,34 @@ def _run_chunk(
     return os.getpid(), time.process_time() - cpu0, out
 
 
+def _run_chunk_batch(
+    batch_fn: Callable[[Sequence[Any]], Sequence[Any]],
+    chunk: Sequence[tuple[int, Any]],
+) -> tuple[int, float, list[tuple[int, bool, Any]]]:
+    """Worker-side batch variant: the whole chunk in one ``batch_fn`` call.
+
+    A failure inside the batch call cannot be pinned to one trial, so it
+    is attributed to the chunk's lowest index (deterministic, and the
+    batch contract says record ``i`` corresponds to item ``i`` — a batch
+    that raises has produced no record for any of them).
+    """
+    cpu0 = time.process_time()
+    try:
+        records = list(batch_fn([item for _, item in chunk]))
+        if len(records) != len(chunk):
+            raise RuntimeError(
+                f"batch_fn returned {len(records)} records for "
+                f"{len(chunk)} trials"
+            )
+        out: list[tuple[int, bool, Any]] = [
+            (index, True, rec) for (index, _), rec in zip(chunk, records)
+        ]
+    except Exception:
+        detail = traceback.format_exc(limit=16)
+        out = [(chunk[0][0], False, detail)]
+    return os.getpid(), time.process_time() - cpu0, out
+
+
 def run_trials(
     fn: Callable[[Any], Any],
     trials: Iterable[Any],
@@ -202,6 +230,7 @@ def run_trials(
     jobs: int | None = 1,
     chunk_size: int | None = None,
     label: str = "campaign",
+    batch_fn: Callable[[Sequence[Any]], Sequence[Any]] | None = None,
 ) -> CampaignRun:
     """Execute ``fn`` over every trial, serially or on a process pool.
 
@@ -220,6 +249,14 @@ def run_trials(
         Trials per pool task; default :func:`default_chunk_size`.
     label:
         Name attached to the stats (and any active telemetry context).
+    batch_fn:
+        Optional batch evaluator ``(items) -> records`` (same length and
+        order) that *replaces* ``fn`` for execution — e.g. a
+        :mod:`repro.kernels` batch kernel that evaluates a whole chunk in
+        one array pass.  Serially the entire campaign is one call; on a
+        pool each worker makes one call per chunk.  It must agree with
+        ``fn`` record-for-record (``fn`` remains the spec and is used in
+        error messages); picklability rules match ``fn``.
 
     Returns
     -------
@@ -230,7 +267,8 @@ def run_trials(
     ------
     TrialError
         if any trial raised; the lowest-index failure is reported, with
-        the trial's seed and params in the message.
+        the trial's seed and params in the message.  A ``batch_fn``
+        failure is attributed to the lowest index of the batch it broke.
     """
     items = list(trials)
     n = len(items)
@@ -240,11 +278,23 @@ def run_trials(
 
     if n_jobs <= 1 or n <= 1:
         cpu0 = time.process_time()
-        for i, item in enumerate(items):
+        if batch_fn is not None and n:
             try:
-                records[i] = fn(item)
+                out = list(batch_fn(items))
+                if len(out) != n:
+                    raise RuntimeError(
+                        f"batch_fn returned {len(out)} records for "
+                        f"{n} trials"
+                    )
+                records = out
             except Exception as exc:
-                raise _trial_error(i, item, repr(exc)) from exc
+                raise _trial_error(0, items[0], repr(exc)) from exc
+        else:
+            for i, item in enumerate(items):
+                try:
+                    records[i] = fn(item)
+                except Exception as exc:
+                    raise _trial_error(i, item, repr(exc)) from exc
         cpu = time.process_time() - cpu0
         stats = RunStats(
             label=label,
@@ -268,7 +318,13 @@ def run_trials(
     failures: list[tuple[int, str]] = []
 
     with ProcessPoolExecutor(max_workers=min(n_jobs, len(chunks))) as pool:
-        futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        if batch_fn is not None:
+            futures = [
+                pool.submit(_run_chunk_batch, batch_fn, chunk)
+                for chunk in chunks
+            ]
+        else:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
         # Collect in submission order: chunks still run concurrently, but
         # bookkeeping (and failure selection) stays deterministic.
         for future in futures:

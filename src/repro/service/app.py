@@ -39,6 +39,7 @@ from ..io_.serialize import (
     partition_result_to_dict,
     report_to_dict,
 )
+from ..kernels import resolve_backend, test_feasibility_batch
 from ..runner import run_trials
 from .cache import LRUCache
 from .metrics import MetricsRegistry
@@ -120,8 +121,25 @@ class FeasibilityService:
     feasibility tests are pure functions of their arguments.
     """
 
-    def __init__(self, *, jobs: int = 1, cache_size: int = 1024):
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_size: int = 1024,
+        backend: str | None = None,
+    ):
+        """``backend`` selects the evaluation path for cache misses.
+
+        ``None`` (the default) keeps the legacy scalar path and a
+        byte-identical response schema; an explicit ``scalar`` /
+        ``kernel`` / ``numpy`` routes verdicts through
+        :func:`repro.kernels.test_feasibility_batch` — ``/v1/batch``
+        misses become one kernel call per theorem config — and stamps
+        each computed report with a ``backend`` provenance key (the
+        verdicts themselves are bit-identical across backends).
+        """
         self.jobs = jobs
+        self.backend = resolve_backend(backend) if backend is not None else None
         self.cache = LRUCache(cache_size)
         self.metrics = MetricsRegistry()
         self._started = time.monotonic()
@@ -162,14 +180,25 @@ class FeasibilityService:
         canon = self.cache.get(digest)
         if canon is not None:
             return canon, True, order
-        report = feasibility_test(
-            q.taskset.subset(order),
-            q.platform,
-            q.scheduler,  # type: ignore[arg-type]
-            q.adversary,  # type: ignore[arg-type]
-            alpha=q.alpha,
-        )
-        canon = report_to_dict(report)
+        if self.backend is None:
+            report = feasibility_test(
+                q.taskset.subset(order),
+                q.platform,
+                q.scheduler,  # type: ignore[arg-type]
+                q.adversary,  # type: ignore[arg-type]
+                alpha=q.alpha,
+            )
+            canon = report_to_dict(report)
+        else:
+            report = test_feasibility_batch(
+                [(q.taskset.subset(order), q.platform)],
+                q.scheduler,  # type: ignore[arg-type]
+                q.adversary,  # type: ignore[arg-type]
+                alpha=q.alpha,
+                backend=self.backend,
+            )[0]
+            canon = report_to_dict(report, backend=self.backend)
+        self.metrics.observe_backend(self.backend or "scalar")
         self.cache.put(digest, canon)
         return canon, False, order
 
@@ -246,10 +275,20 @@ class FeasibilityService:
             for ks in pending.values()
         ]
         if items:
-            run = run_trials(
-                _evaluate_batch_item, items, jobs=self.jobs, label="service/batch"
+            if self.backend is None:
+                run = run_trials(
+                    _evaluate_batch_item,
+                    items,
+                    jobs=self.jobs,
+                    label="service/batch",
+                )
+                records = list(run.records)
+            else:
+                records = self._evaluate_batch_kernel(items)
+            self.metrics.observe_backend(
+                self.backend or "scalar", count=len(items)
             )
-            for (digest, ks), canon in zip(pending.items(), run.records):
+            for (digest, ks), canon in zip(pending.items(), records):
                 self.cache.put(digest, canon)
                 for k in ks:
                     canon_reports[k] = canon
@@ -267,6 +306,34 @@ class FeasibilityService:
             ],
         }
 
+    def _evaluate_batch_kernel(
+        self, items: list[_BatchItem]
+    ) -> list[dict[str, Any]]:
+        """Batch-evaluate cache misses through the kernel backend.
+
+        Misses are grouped by theorem config (scheduler, adversary,
+        alpha) so each group becomes *one*
+        :func:`~repro.kernels.test_feasibility_batch` call — within a
+        group the kernels further shard by instance shape.
+        """
+        groups: dict[tuple[str, str, float | None], list[int]] = {}
+        for t, item in enumerate(items):
+            groups.setdefault(
+                (item.scheduler, item.adversary, item.alpha), []
+            ).append(t)
+        out: list[dict[str, Any]] = [{} for _ in items]
+        for (scheduler, adversary, alpha), idxs in groups.items():
+            reports = test_feasibility_batch(
+                [(items[t].taskset, items[t].platform) for t in idxs],
+                scheduler,  # type: ignore[arg-type]
+                adversary,  # type: ignore[arg-type]
+                alpha=alpha,
+                backend=self.backend,
+            )
+            for t, rep in zip(idxs, reports):
+                out[t] = report_to_dict(rep, backend=self.backend)
+        return out
+
     def handle_healthz(self) -> dict[str, Any]:
         """``GET /healthz`` — liveness plus basic identity."""
         return {
@@ -274,6 +341,7 @@ class FeasibilityService:
             "version": __version__,
             "uptime_seconds": time.monotonic() - self._started,
             "jobs": self.jobs,
+            "backend": self.backend or "scalar",
             "cache": self.cache.stats().as_dict(),
         }
 

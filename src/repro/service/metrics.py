@@ -102,6 +102,16 @@ class MetricsRegistry:
         self._requests: dict[tuple[str, int], int] = {}
         #: endpoint -> histogram
         self._latency: dict[str, LatencyHistogram] = {}
+        #: evaluation backend -> feasibility tests computed (cache
+        #: misses only; hits never re-run a backend)
+        self._backend_tests: dict[str, int] = {}
+
+    def observe_backend(self, backend: str, count: int = 1) -> None:
+        """Record ``count`` feasibility tests evaluated by ``backend``."""
+        with self._lock:
+            self._backend_tests[backend] = (
+                self._backend_tests.get(backend, 0) + count
+            )
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one finished request."""
@@ -131,7 +141,12 @@ class MetricsRegistry:
             latency = {
                 ep: hist.as_dict() for ep, hist in sorted(self._latency.items())
             }
-        out: dict[str, Any] = {"requests": requests, "latency": latency}
+            backend_tests = dict(sorted(self._backend_tests.items()))
+        out: dict[str, Any] = {
+            "requests": requests,
+            "latency": latency,
+            "backend_tests": backend_tests,
+        }
         if cache is not None:
             out["cache"] = cache.as_dict()
         return out
@@ -145,6 +160,7 @@ class MetricsRegistry:
                 (ep, hist.cumulative(), hist.total, hist.count)
                 for ep, hist in sorted(self._latency.items())
             ]
+            backend_tests = sorted(self._backend_tests.items())
         lines.append("# HELP repro_requests_total Requests served, by endpoint and status.")
         lines.append("# TYPE repro_requests_total counter")
         for (ep, status), count in requests:
@@ -164,6 +180,15 @@ class MetricsRegistry:
             )
             lines.append(
                 f'repro_request_latency_seconds_count{{endpoint="{ep}"}} {count}'
+            )
+        lines.append(
+            "# HELP repro_backend_tests_total Feasibility tests evaluated,"
+            " by backend."
+        )
+        lines.append("# TYPE repro_backend_tests_total counter")
+        for backend, count in backend_tests:
+            lines.append(
+                f'repro_backend_tests_total{{backend="{backend}"}} {count}'
             )
         if cache is not None:
             for name, value, help_text in (

@@ -240,10 +240,13 @@ def make_server(
     *,
     jobs: int = 1,
     cache_size: int = 1024,
+    backend: str | None = None,
     quiet: bool = True,
 ) -> ReproServer:
     """Bind a server (``port=0`` picks an ephemeral port) without serving."""
-    service = FeasibilityService(jobs=jobs, cache_size=cache_size)
+    service = FeasibilityService(
+        jobs=jobs, cache_size=cache_size, backend=backend
+    )
     return ReproServer((host, port), service, quiet=quiet)
 
 
@@ -253,6 +256,7 @@ def serve(
     *,
     jobs: int = 1,
     cache_size: int = 1024,
+    backend: str | None = None,
     quiet: bool = True,
 ) -> int:
     """Run the service until SIGTERM/SIGINT, then drain and exit 0.
@@ -262,7 +266,8 @@ def serve(
     invoked from inside ``serve_forever`` (a stdlib deadlock).
     """
     server = make_server(
-        host, port, jobs=jobs, cache_size=cache_size, quiet=quiet
+        host, port, jobs=jobs, cache_size=cache_size, backend=backend,
+        quiet=quiet,
     )
     stop = threading.Event()
 
