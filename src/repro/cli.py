@@ -7,7 +7,9 @@ Commands
 ``simulate``    partition an instance and simulate it, reporting misses
 ``experiment``  run an E1–E17 evaluation experiment and print its tables
 ``constants``   verify / re-optimize the proof constants
-``serve``       run the feasibility-query HTTP service (repro.service)
+``serve``       run the feasibility-query HTTP service (repro.service);
+                ``--workers N`` runs the sharded multi-process front end
+``loadgen``     drive load at a running service and report RPS/latency
 ``fuzz``        differential-fuzz the oracle invariant lattice (repro.oracle)
 ``lint``        run the reproducibility linter (repro.lint, rules REP001-REP006)
 ``list``        list available experiments
@@ -16,6 +18,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -176,7 +179,64 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "run the sharded multi-process front end with N shard "
+            "workers, each owning a private verdict cache (0, the "
+            "default: the single-process threaded server)"
+        ),
+    )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help=argparse.SUPPRESS,  # fault-injection task names; tests/drills only
+    )
+    p.add_argument(
         "--verbose", action="store_true", help="log every request to stderr"
+    )
+
+    p = sub.add_parser(
+        "loadgen", help="drive load at a running feasibility service"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="port of the service under load (required unless --list-profiles)",
+    )
+    p.add_argument(
+        "--profile",
+        default="smoke",
+        help="workload profile name (see --list-profiles)",
+    )
+    p.add_argument(
+        "--list-profiles",
+        action="store_true",
+        help="list profiles and exit",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="override the profile's run duration",
+    )
+    p.add_argument(
+        "--concurrency", type=int, default=None, metavar="N",
+        help="override the profile's closed-loop client count",
+    )
+    p.add_argument(
+        "--rate", type=float, default=None, metavar="RPS",
+        help="override the profile's open-loop arrival rate",
+    )
+    p.add_argument(
+        "--seed", type=int, default=None, help="override the profile's seed"
+    )
+    p.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write the full report as JSON",
     )
 
     p = sub.add_parser(
@@ -503,6 +563,20 @@ def _cmd_slack(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 0:
+        from .service.frontend import serve_sharded
+
+        # Shard workers are serial by design (parallelism comes from
+        # the worker pool itself), so --jobs does not apply here.
+        return serve_sharded(
+            args.host,
+            args.port,
+            workers=args.workers,
+            cache_size=args.cache_size,
+            backend=args.backend,
+            chaos=args.chaos,
+            quiet=not args.verbose,
+        )
     from .service.server import serve
 
     return serve(
@@ -513,6 +587,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         quiet=not args.verbose,
     )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .loadgen import PROFILES, run_load
+
+    if args.list_profiles:
+        for profile in PROFILES.values():
+            print(f"{profile.name:>12s}  [{profile.mode}] {profile.description}")
+        return 0
+    if args.port is None:
+        print("error: --port is required (or use --list-profiles)", file=sys.stderr)
+        return 2
+    profile = PROFILES.get(args.profile)
+    if profile is None:
+        known = ", ".join(sorted(PROFILES))
+        print(f"error: unknown profile {args.profile!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    profile = profile.with_overrides(
+        duration=args.duration,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        seed=args.seed,
+    )
+    report = run_load(args.host, args.port, profile)
+    print(report.summary())
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {args.json}")
+    return 0 if report.errors == 0 else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
@@ -567,6 +673,7 @@ _HANDLERS = {
     "gantt": _cmd_gantt,
     "slack": _cmd_slack,
     "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "fuzz": _cmd_fuzz,
     "lint": _cmd_lint,
     "list": _cmd_list,

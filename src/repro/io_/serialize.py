@@ -32,9 +32,16 @@ __all__ = [
     "canonical_task_order",
     "canonical_instance",
     "instance_digest",
+    "shard_for_digest",
     "save_json",
     "load_json",
 ]
+
+#: Hex digits of the canonical digest used as the shard routing key.
+#: 8 digits = 32 bits — astronomically more key space than any worker
+#: count, while leaving the rest of the digest free to change without
+#: moving an instance between shards.
+SHARD_KEY_HEX_DIGITS = 8
 
 
 def task_to_dict(task: Task) -> dict[str, Any]:
@@ -283,6 +290,22 @@ def instance_digest(
         payload["query"] = dict(query)
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def shard_for_digest(digest: str, shards: int) -> int:
+    """Owning shard for a canonical instance digest (``0 <= k < shards``).
+
+    The key is the leading :data:`SHARD_KEY_HEX_DIGITS` hex digits of
+    the digest reduced modulo the shard count, so (a) two requests for
+    the same canonical instance — under any task/machine permutation or
+    renaming — always land on the same shard, which is what lets each
+    shard own a private verdict cache with no cross-process
+    coordination, and (b) SHA-256 uniformity spreads distinct instances
+    evenly across shards for every shard count.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be positive, got {shards}")
+    return int(digest[:SHARD_KEY_HEX_DIGITS], 16) % shards
 
 
 def save_json(path: str | Path, payload: dict[str, Any]) -> None:

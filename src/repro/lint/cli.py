@@ -122,6 +122,17 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="print phase-1 execution stats (files, cache hits, jobs)",
     )
     parser.add_argument(
+        "--min-cache-hit-rate",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail when phase-1 cache hits / files falls below RATIO in "
+            "[0, 1]; run against a warm --cache in CI to catch changes "
+            "that silently bust the cache key (requires --cache)"
+        ),
+    )
+    parser.add_argument(
         "--self-test",
         action="store_true",
         help=(
@@ -175,4 +186,32 @@ def run_lint(args: argparse.Namespace) -> int:
             f"{s.cache_hits} cache hit(s), {s.cache_invalidated} "
             f"invalidated by imports, jobs={s.jobs}"
         )
-    return result.exit_code(fail_on_unused=args.show_unused_noqa)
+    code = result.exit_code(fail_on_unused=args.show_unused_noqa)
+    if args.min_cache_hit_rate is not None:
+        floor = args.min_cache_hit_rate
+        if not 0.0 <= floor <= 1.0:
+            print(
+                f"repro lint: --min-cache-hit-rate must be in [0, 1], "
+                f"got {floor}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.no_cache or args.cache is None:
+            print(
+                "repro lint: --min-cache-hit-rate requires --cache "
+                "(there is no cache to measure)",
+                file=sys.stderr,
+            )
+            return 2
+        s = result.stats
+        rate = (s.cache_hits / s.files) if s.files else 1.0
+        if rate < floor:
+            print(
+                f"repro lint: cache hit rate {rate:.1%} "
+                f"({s.cache_hits}/{s.files} file(s)) is below the "
+                f"--min-cache-hit-rate floor {floor:.1%} — a change has "
+                "likely busted the incremental-cache key",
+                file=sys.stderr,
+            )
+            return max(code, 1)
+    return code

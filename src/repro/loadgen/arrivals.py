@@ -1,0 +1,84 @@
+"""Open-loop arrival processes: when each request *should* be sent.
+
+An open-loop generator decides send times independently of response
+times — the defining property that lets it expose queueing collapse
+(a closed-loop client slows down with the server and hides it).  Both
+processes here are pure functions of a seeded generator, so a profile
+replays the identical arrival sequence on every run and every worker
+count being compared.
+
+Times are offsets in seconds from the start of the run; the harness
+anchors them to ``time.monotonic()``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["poisson_arrivals", "burst_arrivals"]
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, rate: float, duration: float
+) -> list[float]:
+    """Homogeneous Poisson process: exponential gaps at ``rate`` req/s."""
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    out: list[float] = []
+    t = 0.0
+    while True:
+        # Inverse-CDF sampling; guard the log against a 0.0 draw.
+        t += -math.log(1.0 - float(rng.random())) / rate
+        if t >= duration:
+            return out
+        out.append(t)
+
+
+def burst_arrivals(
+    rng: np.random.Generator,
+    base_rate: float,
+    burst_rate: float,
+    duration: float,
+    *,
+    period: float = 2.0,
+    burst_fraction: float = 0.25,
+) -> list[float]:
+    """Periodic-surge process: Poisson at ``base_rate``, except during
+    the first ``burst_fraction`` of every ``period`` where the rate is
+    ``burst_rate``.
+
+    Models the on/off traffic shape (request surges over a quiet
+    baseline) that stresses queue depth and restart behaviour harder
+    than a stationary process at the same mean rate.
+    """
+    if burst_rate < base_rate:
+        raise ValueError(
+            f"burst_rate {burst_rate} must be >= base_rate {base_rate}"
+        )
+    if not 0 < burst_fraction < 1:
+        raise ValueError(f"burst_fraction must be in (0, 1), got {burst_fraction}")
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    out: list[float] = []
+    t = 0.0
+    while t < duration:
+        phase = t % period
+        in_burst = phase < period * burst_fraction
+        rate = burst_rate if in_burst else base_rate
+        gap = -math.log(1.0 - float(rng.random())) / rate
+        # Do not let one draw leap across a phase boundary at the wrong
+        # rate: clamp the step to the boundary and redraw from there.
+        boundary = (
+            period * burst_fraction - phase if in_burst else period - phase
+        )
+        if gap >= boundary:
+            t += boundary
+            continue
+        t += gap
+        if t < duration:
+            out.append(t)
+    return out

@@ -1,0 +1,137 @@
+"""A deliberately cheap keep-alive HTTP client.
+
+The load generator shares one machine (often one core) with the server
+it is measuring, so every cycle it spends is stolen from the thing
+being timed.  ``http.client`` and ``urllib`` burn those cycles on
+header objects and string churn; this client does the minimum: one
+persistent socket, a pre-built request preamble, and a parser that
+reads exactly the status line, a ``Content-Length`` header, and the
+body.  That is the entire HTTP/1.1 subset both repro servers speak —
+they always send ``Content-Length``, never chunked encoding.
+"""
+
+from __future__ import annotations
+
+import socket
+
+__all__ = ["HttpClient", "HttpError"]
+
+
+class HttpError(Exception):
+    """Transport-level failure (connect, send, or malformed response)."""
+
+
+class HttpClient:
+    """One keep-alive connection to one server."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._buf = b""
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+        self._buf = b""
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError as exc:
+                raise HttpError(f"connect failed: {exc}") from exc
+            self._buf = b""
+        return self._sock
+
+    def request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One request → ``(status, body bytes)``.
+
+        Retries exactly once on a broken keep-alive socket (the server
+        legitimately closes idle connections; the second attempt is on
+        a fresh one).
+        """
+        try:
+            return self._request_once(method, path, body)
+        except HttpError:
+            self.close()
+            return self._request_once(method, path, body)
+
+    def _request_once(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, bytes]:
+        sock = self._connect()
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        try:
+            sock.sendall(head + payload)
+            return self._read_response(sock)
+        except OSError as exc:
+            self.close()
+            raise HttpError(f"request failed: {exc}") from exc
+
+    def _read_line(self, sock: socket.socket) -> bytes:
+        while b"\r\n" not in self._buf:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise HttpError("server closed the connection")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\r\n", 1)
+        return line
+
+    def _read_exact(self, sock: socket.socket, n: int) -> bytes:
+        while len(self._buf) < n:
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise HttpError("server closed mid-body")
+            self._buf += chunk
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    def _read_response(self, sock: socket.socket) -> tuple[int, bytes]:
+        status_line = self._read_line(sock)
+        parts = status_line.split(b" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise HttpError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        length: int | None = None
+        close = False
+        while True:
+            line = self._read_line(sock)
+            if not line:
+                break
+            key, _, value = line.partition(b":")
+            key = key.strip().lower()
+            if key == b"content-length":
+                length = int(value.strip())
+            elif key == b"connection" and value.strip().lower() == b"close":
+                close = True
+        if length is None:
+            raise HttpError("response has no Content-Length")
+        body = self._read_exact(sock, length)
+        if close:
+            self.close()
+        return status, body

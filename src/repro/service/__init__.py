@@ -6,8 +6,13 @@ HTTP from a long-lived process with canonical-instance caching and
 request-level metrics:
 
 * :class:`~repro.service.app.FeasibilityService` — transport-free logic;
-* :mod:`~repro.service.server` — the ``ThreadingHTTPServer`` front-end
-  (``repro serve`` on the CLI);
+* :mod:`~repro.service.server` — the single-process
+  ``ThreadingHTTPServer`` front-end (``repro serve`` on the CLI);
+* :mod:`~repro.service.frontend` / :mod:`~repro.service.shard` /
+  :mod:`~repro.service.protocol` — the sharded multi-process front end
+  (``repro serve --workers N``): digest-routed worker processes, each
+  owning a private verdict LRU, byte-identical responses to the
+  single-process server;
 * :class:`~repro.service.client.ServiceClient` — stdlib client wrapper;
 * :mod:`~repro.service.cache` / :mod:`~repro.service.metrics` /
   :mod:`~repro.service.validation` — the supporting pieces.
@@ -20,8 +25,10 @@ See ``docs/api.md`` ("Serving") for payload schemas.
 from .app import FeasibilityService
 from .cache import CacheStats, LRUCache
 from .client import ServiceClient, ServiceError
+from .frontend import ShardedFrontend, serve_sharded
 from .metrics import MetricsRegistry
 from .server import ReproServer, make_server, serve
+from .shard import ShardCore
 from .validation import (
     FieldError,
     PartitionQuery,
@@ -40,8 +47,11 @@ __all__ = [
     "ServiceError",
     "MetricsRegistry",
     "ReproServer",
+    "ShardCore",
+    "ShardedFrontend",
     "make_server",
     "serve",
+    "serve_sharded",
     "FieldError",
     "PartitionQuery",
     "TestQuery",

@@ -27,54 +27,20 @@ from __future__ import annotations
 
 import copy
 import time
-from dataclasses import dataclass
 from typing import Any
 
 from .. import __version__
-from ..core.feasibility import feasibility_test, theorem_alpha
-from ..core.partition import first_fit_partition
-from ..io_.serialize import (
-    canonical_task_order,
-    instance_digest,
-    partition_result_to_dict,
-    report_to_dict,
-)
-from ..kernels import resolve_backend, test_feasibility_batch
-from ..runner import run_trials
-from .cache import LRUCache
+from ..io_.serialize import canonical_task_order
 from .metrics import MetricsRegistry
+from .protocol import PartitionUnit, TestUnit
+from .shard import ShardCore, partition_query_digest, test_query_digest
 from .validation import (
-    PartitionQuery,
-    TestQuery,
     parse_batch_request,
     parse_partition_request,
     parse_test_request,
 )
 
 __all__ = ["FeasibilityService"]
-
-
-@dataclass(frozen=True)
-class _BatchItem:
-    """Picklable unit of /v1/batch work (crosses the runner's pool)."""
-
-    taskset: Any  # canonical-order TaskSet
-    platform: Any
-    scheduler: str
-    adversary: str
-    alpha: float | None
-
-
-def _evaluate_batch_item(item: _BatchItem) -> dict[str, Any]:
-    """Per-trial function for the runner: one canonical verdict dict."""
-    report = feasibility_test(
-        item.taskset,
-        item.platform,
-        item.scheduler,
-        item.adversary,
-        alpha=item.alpha,
-    )
-    return report_to_dict(report)
 
 
 def _remap_partition_dict(
@@ -119,6 +85,14 @@ class FeasibilityService:
     :class:`~repro.service.validation.ValidationError` on bad input.
     Thread-safe: the cache and metrics use their own locks and the
     feasibility tests are pure functions of their arguments.
+
+    All evaluation and caching lives in :class:`~repro.service.shard.ShardCore`
+    — the same engine every worker of the sharded front end
+    (:mod:`repro.service.frontend`) runs — so this single-process
+    server and the multi-process one cannot drift apart on a verdict
+    byte.  This class owns what a shard does not: payload parsing,
+    digest/order computation, and remapping responses back to the
+    client's submission order.
     """
 
     def __init__(
@@ -138,76 +112,51 @@ class FeasibilityService:
         each computed report with a ``backend`` provenance key (the
         verdicts themselves are bit-identical across backends).
         """
-        self.jobs = jobs
-        self.backend = resolve_backend(backend) if backend is not None else None
-        self.cache = LRUCache(cache_size)
         self.metrics = MetricsRegistry()
+        self.core = ShardCore(
+            cache_size=cache_size,
+            backend=backend,
+            jobs=jobs,
+            on_backend=self.metrics.observe_backend,
+        )
         self._started = time.monotonic()
+
+    # The single-process server is one shard that owns everything; keep
+    # its pre-shard public surface as thin views onto the core.
+    @property
+    def jobs(self) -> int:
+        return self.core.jobs
+
+    @property
+    def backend(self) -> str | None:
+        return self.core.backend
+
+    @property
+    def cache(self):
+        return self.core.cache
 
     # Seam for tests (e.g. holding a request in flight to prove graceful
     # drain); the HTTP layer calls it before dispatching each request.
     def before_handle(self, endpoint: str) -> None:
         return None
 
-    # -- verdict plumbing ---------------------------------------------------
-    def _test_digest(self, q: TestQuery) -> tuple[str, float]:
-        """Cache key and the resolved alpha for a test query.
-
-        Resolving ``alpha=None`` to the theorem's value first means an
-        explicit ``alpha=2.0`` EDF/partitioned query and a defaulted one
-        share a cache entry.
-        """
-        alpha = q.alpha if q.alpha is not None else theorem_alpha(
-            q.scheduler, q.adversary  # type: ignore[arg-type]
-        )
-        digest = instance_digest(
-            q.taskset,
-            q.platform,
-            query={
-                "kind": "test",
-                "scheduler": q.scheduler,
-                "adversary": q.adversary,
-                "alpha": alpha,
-            },
-        )
-        return digest, alpha
-
-    def _canonical_test_report(
-        self, q: TestQuery, digest: str
-    ) -> tuple[dict[str, Any], bool, list[int]]:
-        """(canonical report dict, was it cached, canonical order)."""
-        order = canonical_task_order(q.taskset)
-        canon = self.cache.get(digest)
-        if canon is not None:
-            return canon, True, order
-        if self.backend is None:
-            report = feasibility_test(
-                q.taskset.subset(order),
-                q.platform,
-                q.scheduler,  # type: ignore[arg-type]
-                q.adversary,  # type: ignore[arg-type]
-                alpha=q.alpha,
-            )
-            canon = report_to_dict(report)
-        else:
-            report = test_feasibility_batch(
-                [(q.taskset.subset(order), q.platform)],
-                q.scheduler,  # type: ignore[arg-type]
-                q.adversary,  # type: ignore[arg-type]
-                alpha=q.alpha,
-                backend=self.backend,
-            )[0]
-            canon = report_to_dict(report, backend=self.backend)
-        self.metrics.observe_backend(self.backend or "scalar")
-        self.cache.put(digest, canon)
-        return canon, False, order
-
     # -- endpoints ----------------------------------------------------------
     def handle_test(self, payload: Any) -> dict[str, Any]:
         """``POST /v1/test`` — one per-theorem verdict, cached."""
         q = parse_test_request(payload)
-        digest, _ = self._test_digest(q)
-        canon, cached, order = self._canonical_test_report(q, digest)
+        digest, _ = test_query_digest(q)
+        order = canonical_task_order(q.taskset)
+        canon, cached = self.core.test(
+            TestUnit(
+                digest=digest,
+                taskset=q.taskset,
+                order=tuple(order),
+                platform=q.platform,
+                scheduler=q.scheduler,
+                adversary=q.adversary,
+                alpha=q.alpha,
+            )
+        )
         return {
             "digest": digest,
             "cached": cached,
@@ -217,20 +166,18 @@ class FeasibilityService:
     def handle_partition(self, payload: Any) -> dict[str, Any]:
         """``POST /v1/partition`` — a first-fit assignment, cached."""
         q = parse_partition_request(payload)
-        digest = instance_digest(
-            q.taskset,
-            q.platform,
-            query={"kind": "partition", "test": q.test, "alpha": q.alpha},
-        )
+        digest = partition_query_digest(q)
         order = canonical_task_order(q.taskset)
-        canon = self.cache.get(digest)
-        cached = canon is not None
-        if canon is None:
-            result = first_fit_partition(
-                q.taskset.subset(order), q.platform, q.test, alpha=q.alpha
+        canon, cached = self.core.partition(
+            PartitionUnit(
+                digest=digest,
+                taskset=q.taskset,
+                order=tuple(order),
+                platform=q.platform,
+                test=q.test,
+                alpha=q.alpha,
             )
-            canon = partition_result_to_dict(result)
-            self.cache.put(digest, canon)
+        )
         return {
             "digest": digest,
             "cached": cached,
@@ -246,93 +193,37 @@ class FeasibilityService:
         Results come back in submission order regardless of ``jobs``.
         """
         queries = parse_batch_request(payload)
-        digests: list[str] = []
         orders: list[list[int]] = []
-        canon_reports: list[dict[str, Any] | None] = []
-        misses: list[int] = []
+        units: list[TestUnit] = []
         for q in queries:
-            digest, _ = self._test_digest(q)
+            digest, _ = test_query_digest(q)
             order = canonical_task_order(q.taskset)
-            digests.append(digest)
             orders.append(order)
-            canon = self.cache.get(digest)
-            canon_reports.append(canon)
-            if canon is None:
-                misses.append(len(canon_reports) - 1)
-        # Distinct queries can share a digest (permutations of one
-        # instance); evaluate each digest once.
-        pending: dict[str, list[int]] = {}
-        for k in misses:
-            pending.setdefault(digests[k], []).append(k)
-        items = [
-            _BatchItem(
-                taskset=queries[ks[0]].taskset.subset(orders[ks[0]]),
-                platform=queries[ks[0]].platform,
-                scheduler=queries[ks[0]].scheduler,
-                adversary=queries[ks[0]].adversary,
-                alpha=queries[ks[0]].alpha,
-            )
-            for ks in pending.values()
-        ]
-        if items:
-            if self.backend is None:
-                run = run_trials(
-                    _evaluate_batch_item,
-                    items,
-                    jobs=self.jobs,
-                    label="service/batch",
+            units.append(
+                TestUnit(
+                    digest=digest,
+                    taskset=q.taskset,
+                    order=tuple(order),
+                    platform=q.platform,
+                    scheduler=q.scheduler,
+                    adversary=q.adversary,
+                    alpha=q.alpha,
                 )
-                records = list(run.records)
-            else:
-                records = self._evaluate_batch_kernel(items)
-            self.metrics.observe_backend(
-                self.backend or "scalar", count=len(items)
             )
-            for (digest, ks), canon in zip(pending.items(), records):
-                self.cache.put(digest, canon)
-                for k in ks:
-                    canon_reports[k] = canon
-        hits = len(queries) - len(misses)
+        outcomes = self.core.batch(units)
+        hits = sum(1 for _, cached in outcomes if cached)
         return {
             "count": len(queries),
             "cached": hits,
             "results": [
                 {
-                    "digest": digests[k],
-                    "cached": k not in misses,
-                    "report": _remap_report_dict(canon_reports[k], orders[k]),
+                    "digest": units[k].digest,
+                    "cached": cached,
+                    "report": _remap_report_dict(canon, orders[k]),
                 }
-                for k in range(len(queries))
+                for k, (canon, cached) in enumerate(outcomes)
             ],
         }
-
-    def _evaluate_batch_kernel(
-        self, items: list[_BatchItem]
-    ) -> list[dict[str, Any]]:
-        """Batch-evaluate cache misses through the kernel backend.
-
-        Misses are grouped by theorem config (scheduler, adversary,
-        alpha) so each group becomes *one*
-        :func:`~repro.kernels.test_feasibility_batch` call — within a
-        group the kernels further shard by instance shape.
-        """
-        groups: dict[tuple[str, str, float | None], list[int]] = {}
-        for t, item in enumerate(items):
-            groups.setdefault(
-                (item.scheduler, item.adversary, item.alpha), []
-            ).append(t)
-        out: list[dict[str, Any]] = [{} for _ in items]
-        for (scheduler, adversary, alpha), idxs in groups.items():
-            reports = test_feasibility_batch(
-                [(items[t].taskset, items[t].platform) for t in idxs],
-                scheduler,  # type: ignore[arg-type]
-                adversary,  # type: ignore[arg-type]
-                alpha=alpha,
-                backend=self.backend,
-            )
-            for t, rep in zip(idxs, reports):
-                out[t] = report_to_dict(rep, backend=self.backend)
-        return out
 
     def handle_healthz(self) -> dict[str, Any]:
         """``GET /healthz`` — liveness plus basic identity."""

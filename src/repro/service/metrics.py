@@ -21,7 +21,12 @@ from typing import Any
 
 from .cache import CacheStats
 
-__all__ = ["DEFAULT_BUCKETS", "LatencyHistogram", "MetricsRegistry"]
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "render_shard_prometheus",
+]
 
 #: Histogram bucket upper bounds, in seconds.  Feasibility tests on
 #: cached instances answer in microseconds; cold LP/batch queries can
@@ -208,3 +213,138 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {name} gauge")
                 lines.append(f"{name} {value!r}")
         return "\n".join(lines) + "\n"
+
+
+def render_shard_prometheus(shards: list[dict[str, Any]]) -> str:
+    """Per-shard Prometheus series for the sharded front end.
+
+    ``shards`` holds one snapshot dict per shard —
+    ``{"shard", "state", "restarts", "queue_depth", "stats"}`` — where
+    ``stats`` is the worker's own counters (``requests``, ``items``,
+    ``cache``, ``backend_tests``) or ``None`` when the worker could not
+    be polled (dead or restarting).  Liveness, restarts, and queue
+    depth come from the front end's view, so they are reported even for
+    a shard that cannot answer.
+    """
+    lines: list[str] = []
+
+    def series(name: str, kind: str, help_text: str, rows: list[str]) -> None:
+        if not rows:
+            return
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(rows)
+
+    series(
+        "repro_shard_up",
+        "gauge",
+        "1 when the shard worker is alive and serving, else 0.",
+        [
+            f'repro_shard_up{{shard="{s["shard"]}"}} '
+            f'{1 if s.get("state") == "ok" else 0}'
+            for s in shards
+        ],
+    )
+    series(
+        "repro_shard_restarts_total",
+        "counter",
+        "Worker respawns after a crash, by shard.",
+        [
+            f'repro_shard_restarts_total{{shard="{s["shard"]}"}} '
+            f'{s.get("restarts", 0)}'
+            for s in shards
+        ],
+    )
+    series(
+        "repro_shard_queue_depth",
+        "gauge",
+        "Requests in flight to the shard worker (front-end view).",
+        [
+            f'repro_shard_queue_depth{{shard="{s["shard"]}"}} '
+            f'{s.get("queue_depth", 0)}'
+            for s in shards
+        ],
+    )
+    requests_rows: list[str] = []
+    items_rows: list[str] = []
+    hit_rows: list[str] = []
+    miss_rows: list[str] = []
+    evict_rows: list[str] = []
+    size_rows: list[str] = []
+    backend_rows: list[str] = []
+    for s in shards:
+        stats = s.get("stats")
+        if not stats:
+            continue
+        shard = s["shard"]
+        for op, count in stats.get("requests", {}).items():
+            requests_rows.append(
+                f'repro_shard_requests_total{{shard="{shard}",op="{op}"}} {count}'
+            )
+        items_rows.append(
+            f'repro_shard_items_total{{shard="{shard}"}} {stats.get("items", 0)}'
+        )
+        cache = stats.get("cache", {})
+        hit_rows.append(
+            f'repro_shard_cache_hits_total{{shard="{shard}"}} '
+            f'{cache.get("hits", 0)}'
+        )
+        miss_rows.append(
+            f'repro_shard_cache_misses_total{{shard="{shard}"}} '
+            f'{cache.get("misses", 0)}'
+        )
+        evict_rows.append(
+            f'repro_shard_cache_evictions_total{{shard="{shard}"}} '
+            f'{cache.get("evictions", 0)}'
+        )
+        size_rows.append(
+            f'repro_shard_cache_size{{shard="{shard}"}} {cache.get("size", 0)}'
+        )
+        for backend, count in stats.get("backend_tests", {}).items():
+            backend_rows.append(
+                f'repro_shard_backend_tests_total{{shard="{shard}",'
+                f'backend="{backend}"}} {count}'
+            )
+    series(
+        "repro_shard_requests_total",
+        "counter",
+        "Frames answered by the shard worker, by op.",
+        requests_rows,
+    )
+    series(
+        "repro_shard_items_total",
+        "counter",
+        "Individual verdict items processed by the shard worker.",
+        items_rows,
+    )
+    series(
+        "repro_shard_cache_hits_total",
+        "counter",
+        "Shard-private verdict cache hits.",
+        hit_rows,
+    )
+    series(
+        "repro_shard_cache_misses_total",
+        "counter",
+        "Shard-private verdict cache misses.",
+        miss_rows,
+    )
+    series(
+        "repro_shard_cache_evictions_total",
+        "counter",
+        "Shard-private verdict cache evictions.",
+        evict_rows,
+    )
+    series(
+        "repro_shard_cache_size",
+        "gauge",
+        "Entries in the shard-private verdict cache.",
+        size_rows,
+    )
+    series(
+        "repro_shard_backend_tests_total",
+        "counter",
+        "Feasibility tests evaluated by the shard worker, by backend.",
+        backend_rows,
+    )
+    return "\n".join(lines) + "\n" if lines else ""

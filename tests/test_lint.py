@@ -503,6 +503,53 @@ class TestCLI:
         ]) == 1
         assert "parse error" in capsys.readouterr().out
 
+    def _clean_tree_with_cache(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        for k in range(4):
+            (pkg / f"ok{k}.py").write_text(f"x = {k}\n")
+        return tmp_path, tmp_path / ".lint-cache"
+
+    def test_min_cache_hit_rate_passes_on_warm_cache(self, tmp_path, capsys):
+        root, cache = self._clean_tree_with_cache(tmp_path)
+        argv = [
+            "lint", str(root / "src"), "--root", str(root),
+            "--cache", str(cache),
+        ]
+        assert main(argv) == 0  # cold run populates the cache
+        assert main(argv + ["--min-cache-hit-rate", "0.99"]) == 0
+
+    def test_min_cache_hit_rate_fails_on_cold_cache(self, tmp_path, capsys):
+        root, cache = self._clean_tree_with_cache(tmp_path)
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--cache", str(cache), "--min-cache-hit-rate", "0.5",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "cache hit rate" in err
+        assert "busted" in err
+
+    def test_min_cache_hit_rate_requires_cache(self, tmp_path, capsys):
+        root, cache = self._clean_tree_with_cache(tmp_path)
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--min-cache-hit-rate", "0.5",
+        ]) == 2
+        assert "requires --cache" in capsys.readouterr().err
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--cache", str(cache), "--no-cache",
+            "--min-cache-hit-rate", "0.5",
+        ]) == 2
+
+    def test_min_cache_hit_rate_rejects_out_of_range(self, tmp_path, capsys):
+        root, cache = self._clean_tree_with_cache(tmp_path)
+        assert main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--cache", str(cache), "--min-cache-hit-rate", "1.5",
+        ]) == 2
+        assert "[0, 1]" in capsys.readouterr().err
+
 
 class TestRuleEdgeCases:
     """Targeted cases beyond the fixture files."""
