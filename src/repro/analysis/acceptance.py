@@ -139,12 +139,23 @@ def _acceptance_trial(
     testers: dict[str, Tester],
     n_tasks: int,
     cap: float,
+    dr_dist: str = "implicit",
+    dr_min: float = 0.5,
+    dr_max: float = 1.0,
 ) -> dict[str, bool]:
     """One sweep sample: draw a task set at the trial's utilization point
     and evaluate every tester on it.  Pure in (trial.seed, trial.params)."""
     rng = trial.rng()
     total = trial.params["U/S"] * platform.total_speed
-    taskset = generate_taskset(rng, n_tasks, total, u_max=min(cap, total))
+    taskset = generate_taskset(
+        rng,
+        n_tasks,
+        total,
+        u_max=min(cap, total),
+        dr_dist=dr_dist,  # type: ignore[arg-type]
+        dr_min=dr_min,
+        dr_max=dr_max,
+    )
     return {
         name: bool(tester(taskset, platform))
         for name, tester in testers.items()
@@ -152,7 +163,7 @@ def _acceptance_trial(
 
 
 #: Admission tests :func:`repro.kernels.first_fit_batch` implements.
-_KERNEL_FF_TESTS = ("edf", "rms-ll")
+_KERNEL_FF_TESTS = ("edf", "rms-ll", "edf-dbf")
 
 
 @dataclass(frozen=True)
@@ -173,6 +184,9 @@ class _AcceptanceBatch:
     n_tasks: int
     cap: float
     backend: str
+    dr_dist: str = "implicit"
+    dr_min: float = 0.5
+    dr_max: float = 1.0
 
     def __call__(self, trials: Sequence[Trial]) -> list[dict[str, bool]]:
         tasksets = []
@@ -181,7 +195,13 @@ class _AcceptanceBatch:
             total = trial.params["U/S"] * self.platform.total_speed
             tasksets.append(
                 generate_taskset(
-                    rng, self.n_tasks, total, u_max=min(self.cap, total)
+                    rng,
+                    self.n_tasks,
+                    total,
+                    u_max=min(self.cap, total),
+                    dr_dist=self.dr_dist,  # type: ignore[arg-type]
+                    dr_min=self.dr_min,
+                    dr_max=self.dr_max,
                 )
             )
         instances = [(ts, self.platform) for ts in tasksets]
@@ -223,6 +243,9 @@ def acceptance_sweep(
     chunk_size: int | None = None,
     name: str = "acceptance",
     backend: str | None = None,
+    dr_dist: str = "implicit",
+    dr_min: float = 0.5,
+    dr_max: float = 1.0,
 ) -> AcceptanceCurve:
     """Measure acceptance rates on UUniFast task sets.
 
@@ -241,6 +264,11 @@ def acceptance_sweep(
     first-fit testers through :func:`repro.kernels.first_fit_batch`, a
     whole trial chunk per call; ``None`` keeps the per-trial scalar
     path.  The curve is bit-identical either way.
+
+    ``dr_dist``/``dr_min``/``dr_max`` select the deadline-ratio axis of
+    :func:`repro.workloads.builder.generate_taskset`; the ``implicit``
+    default draws no extra random numbers, so existing pinned curves are
+    unchanged.
     """
     if samples < 1:
         raise ValueError("samples must be positive")
@@ -258,6 +286,9 @@ def acceptance_sweep(
         testers=dict(testers),
         n_tasks=n_tasks,
         cap=cap,
+        dr_dist=dr_dist,
+        dr_min=dr_min,
+        dr_max=dr_max,
     )
     batch_fn = None
     if backend is not None:
@@ -269,6 +300,9 @@ def acceptance_sweep(
             n_tasks=n_tasks,
             cap=cap,
             backend=resolve_backend(backend),
+            dr_dist=dr_dist,
+            dr_min=dr_min,
+            dr_max=dr_max,
         )
     run = run_trials(
         fn,

@@ -20,7 +20,7 @@ import numpy as np
 
 from ..core.bounds import AdmissionTest
 from ..core.model import Platform, TaskSet
-from ..core.partition import first_fit_partition
+from ..core.partition import TaskOrder, partition
 
 __all__ = ["MinAlphaResult", "alpha_success_profile", "min_alpha_first_fit"]
 
@@ -41,9 +41,15 @@ class MinAlphaResult:
 
 
 def _succeeds(
-    taskset: TaskSet, platform: Platform, test: AdmissionTest | str, alpha: float
+    taskset: TaskSet,
+    platform: Platform,
+    test: AdmissionTest | str,
+    alpha: float,
+    task_order: TaskOrder = "util-desc",
 ) -> bool:
-    return first_fit_partition(taskset, platform, test, alpha=alpha).success
+    return partition(
+        taskset, platform, test, alpha=alpha, task_order=task_order
+    ).success
 
 
 def alpha_success_profile(
@@ -51,10 +57,16 @@ def alpha_success_profile(
     platform: Platform,
     test: AdmissionTest | str,
     alphas: np.ndarray,
+    *,
+    task_order: TaskOrder = "util-desc",
 ) -> np.ndarray:
     """First-fit success at each augmentation in ``alphas`` (boolean array)."""
     return np.array(
-        [_succeeds(taskset, platform, test, float(a)) for a in alphas], dtype=bool
+        [
+            _succeeds(taskset, platform, test, float(a), task_order)
+            for a in alphas
+        ],
+        dtype=bool,
     )
 
 
@@ -68,6 +80,7 @@ def min_alpha_first_fit(
     tol: float = 1e-3,
     max_doublings: int = 24,
     anomaly_scan: int = 0,
+    task_order: TaskOrder = "util-desc",
 ) -> MinAlphaResult:
     """Smallest ``alpha`` at which first-fit partitions the instance.
 
@@ -76,6 +89,10 @@ def min_alpha_first_fit(
     lo, hi:
         Search bracket.  ``hi=None`` doubles from ``max(lo, 1)`` until
         success (raising after ``max_doublings``).
+    task_order:
+        Feed order for the first-fit loop — ``util-desc`` is the paper's
+        §III algorithm, ``deadline-asc`` the deadline-monotonic shape the
+        Han–Zhao and Chen baselines are analyzed under.
     anomaly_scan:
         If positive, additionally evaluate this many evenly spaced alphas
         across the bracket and report whether the success profile was
@@ -95,7 +112,7 @@ def min_alpha_first_fit(
     def ok(alpha: float) -> bool:
         nonlocal evaluations
         evaluations += 1
-        return _succeeds(taskset, platform, test, alpha)
+        return _succeeds(taskset, platform, test, alpha, task_order)
 
     if ok(lo):
         return MinAlphaResult(alpha=lo, tol=tol, monotone=None, evaluations=evaluations)
@@ -125,7 +142,9 @@ def min_alpha_first_fit(
     monotone: bool | None = None
     if anomaly_scan > 0:
         grid = np.linspace(lo, hi, anomaly_scan)
-        profile = alpha_success_profile(taskset, platform, test, grid)
+        profile = alpha_success_profile(
+            taskset, platform, test, grid, task_order=task_order
+        )
         evaluations += anomaly_scan
         # monotone: no True followed by a later False
         seen_true = False

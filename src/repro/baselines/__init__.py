@@ -1,10 +1,22 @@
 """Comparison algorithms: exact adversaries, prior work, heuristics, PTAS."""
 
 from .andersson_tovar import andersson_tovar_edf_test, andersson_tovar_rms_test
+from .chen_fp_dbf import (
+    CHEN_DM_SPEEDUP,
+    ChenFPAdmissionTest,
+    chen_fp_feasible,
+    chen_partition,
+)
 from .exact import (
     exact_partitioned_edf_feasible,
     exact_partitioned_feasible,
     exact_partitioned_rms_feasible,
+)
+from .han_zhao import (
+    HAN_ZHAO_SPEEDUP,
+    HanZhaoAdmissionTest,
+    han_zhao_feasible,
+    han_zhao_partition,
 )
 from .heuristics import PAPER_STRATEGY, Strategy, all_strategies, run_strategy
 from .ptas import PTASResult, ptas_feasibility_test
@@ -12,9 +24,17 @@ from .ptas import PTASResult, ptas_feasibility_test
 __all__ = [
     "andersson_tovar_edf_test",
     "andersson_tovar_rms_test",
+    "CHEN_DM_SPEEDUP",
+    "ChenFPAdmissionTest",
+    "chen_fp_feasible",
+    "chen_partition",
     "exact_partitioned_edf_feasible",
     "exact_partitioned_feasible",
     "exact_partitioned_rms_feasible",
+    "HAN_ZHAO_SPEEDUP",
+    "HanZhaoAdmissionTest",
+    "han_zhao_feasible",
+    "han_zhao_partition",
     "PAPER_STRATEGY",
     "Strategy",
     "all_strategies",

@@ -1,0 +1,89 @@
+"""Han–Zhao partitioned dynamic-priority test for constrained deadlines.
+
+Han & Zhao ("An Improved Speedup Factor for Sporadic Tasks with
+Constrained Deadlines under Dynamic Priority Scheduling",
+arXiv:1807.08579) analyze the deadline-monotonic first-fit partitioner
+whose per-machine admission is the *linearized* demand bound — each
+task's dbf replaced by its first-step linear upper bound::
+
+    dbf*_1(t) = c + (t - d) * u      for t >= d      (0 before d)
+
+which is exactly the ``k = 1`` member of the approximate-dbf family in
+:mod:`repro.core.dbf_approx` (the Baruah–Fisher form).  Their
+contribution is a sharper speedup-factor analysis of this algorithm:
+any constrained-deadline set feasible on ``m`` speed-1 machines is
+accepted on machines :data:`HAN_ZHAO_SPEEDUP` times faster — improving
+the previous 2.6322 bound (Chen & Chakraborty) for the same algorithm
+family; the known lower bound is 2.5.
+
+This module routes the algorithm through the repo's existing machinery
+on *related* (uniform) machines: admission is
+:class:`~repro.core.dbf_approx.EDFApproxDemandTest` with ``k=1``, and
+the partitioner is :func:`~repro.core.partition.partition` with
+deadline-monotonic task order — the ``E22``/``E23`` campaigns measure
+its empirical acceptance and speedup against the exact ``edf-dbf``
+admission across the deadline-ratio axis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.bounds import ADMISSION_TESTS
+from ..core.dbf_approx import EDFApproxDemandTest, edf_approx_demand_feasible
+from ..core.model import Platform, Task, TaskSet
+from ..core.partition import PartitionResult, partition
+
+__all__ = [
+    "HAN_ZHAO_SPEEDUP",
+    "HanZhaoAdmissionTest",
+    "han_zhao_feasible",
+    "han_zhao_partition",
+]
+
+#: Han–Zhao's improved speedup factor for deadline-monotonic first-fit
+#: with the linearized (k=1) demand bound on constrained-deadline sets.
+HAN_ZHAO_SPEEDUP = 2.5556
+
+
+class HanZhaoAdmissionTest(EDFApproxDemandTest):
+    """The k=1 approximate-dbf admission under its related-work name.
+
+    Identical mathematics to ``EDFApproxDemandTest(k=1)`` — the class
+    exists so partition results carry the baseline's name and so the
+    registry exposes it for the service/CLI test menus.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(k=1)
+        self.name = "han-zhao"
+
+
+def han_zhao_feasible(tasks: Sequence[Task], speed: float = 1.0) -> bool:
+    """Single-machine Han–Zhao (linearized-dbf) acceptance at ``speed``."""
+    return edf_approx_demand_feasible(tasks, speed, k=1)
+
+
+def han_zhao_partition(
+    taskset: TaskSet,
+    platform: Platform,
+    *,
+    alpha: float = 1.0,
+) -> PartitionResult:
+    """Deadline-monotonic first-fit with the linearized-dbf admission.
+
+    The Han–Zhao algorithm shape: tasks by non-decreasing relative
+    deadline, machines by non-decreasing speed, first-fit.
+    """
+    return partition(
+        taskset,
+        platform,
+        HanZhaoAdmissionTest(),
+        alpha=alpha,
+        task_order="deadline-asc",
+        machine_order="speed-asc",
+        fit="first",
+    )
+
+
+ADMISSION_TESTS.setdefault("han-zhao", HanZhaoAdmissionTest())

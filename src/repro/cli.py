@@ -5,7 +5,7 @@ Commands
 ``test``        run one of the four theorem feasibility tests on a JSON instance
 ``generate``    draw a synthetic instance and write it as JSON
 ``simulate``    partition an instance and simulate it, reporting misses
-``experiment``  run an E1–E17 evaluation experiment and print its tables
+``experiment``  run an E1–E23 evaluation experiment and print its tables
 ``constants``   verify / re-optimize the proof constants
 ``serve``       run the feasibility-query HTTP service (repro.service);
                 ``--workers N`` runs the sharded multi-process front end
@@ -102,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
 
-    p = sub.add_parser("experiment", help="run an evaluation experiment (E1-E17)")
+    p = sub.add_parser("experiment", help="run an evaluation experiment (E1-E23)")
     p.add_argument("id", help="experiment id, e.g. e01")
     p.add_argument("--scale", choices=["quick", "full"], default="full")
     p.add_argument("--seed", type=int, default=None)
@@ -123,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "batch evaluation backend for experiments with kernel-backed "
-            "sweeps (E2/E3/E7/E9); curves are bit-identical"
+            "sweeps (E2/E3/E7/E9/E22); curves are bit-identical"
         ),
     )
 

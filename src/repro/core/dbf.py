@@ -32,7 +32,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .bounds import AdmissionTest, MachineState, _NeumaierSum
-from .model import EPS, Task, leq
+from .model import EPS, Task, leq, lt, tol_floor
 
 __all__ = [
     "dbf",
@@ -41,19 +41,31 @@ __all__ = [
     "demand_bound_horizon",
     "edf_demand_feasible",
     "qpa_edf_feasible",
+    "qpa_feasible_params",
     "EDFDemandBoundTest",
     "ProfileCacheStats",
     "profile_cache_stats",
     "reset_profile_cache",
 ]
 
+#: Parameter triple ``(wcet, period, deadline)`` — the name-free form the
+#: demand-profile cache is keyed by and the batch kernels operate on.
+TaskParams = tuple[float, float, float]
+
 
 def dbf(task: Task, t: float) -> float:
     """Demand of one sporadic task over any interval of length ``t``:
-    the work of all jobs that can both arrive and be due inside it."""
-    if t < task.deadline - EPS:
+    the work of all jobs that can both arrive and be due inside it.
+
+    Both boundary decisions are scale-aware (:func:`~.model.lt` /
+    :func:`~.model.tol_floor`): at ``t = d + k*p`` the ``k+1``-th job
+    counts no matter how large ``t``, ``d`` or ``k`` are — an absolute
+    ``EPS`` nudge stops rescuing exact crossovers once the division
+    error exceeds ``1e-9``.
+    """
+    if lt(t, task.deadline):
         return 0.0
-    jobs = math.floor((t - task.deadline) / task.period + EPS) + 1
+    jobs = tol_floor((t - task.deadline) / task.period) + 1
     return jobs * task.wcet
 
 
@@ -145,9 +157,18 @@ class _DemandProfile:
         self._qpa: dict[float, bool] = {}
 
     def dbf(self, t: float) -> float:
-        """Total demand bound at interval length ``t`` (array walk)."""
-        jobs = np.floor((t - self.deadlines) / self.periods + EPS) + 1.0
-        demand = np.where(t < self.deadlines - EPS, 0.0, jobs * self.wcets)
+        """Total demand bound at interval length ``t`` (array walk).
+
+        Elementwise IEEE-identical to the scalar :func:`dbf`: the gate
+        replays ``lt(t, d)`` (``d > t + eps*max(1, |t|, |d|)``) and the
+        job count replays ``tol_floor(q)`` with the same operation
+        order, so the fsum over this array equals the fsum over
+        per-task scalar calls bit for bit.
+        """
+        q = (t - self.deadlines) / self.periods
+        jobs = np.floor(q + EPS * np.maximum(1.0, np.abs(q))) + 1.0
+        tol = EPS * np.maximum(1.0, np.maximum(abs(t), np.abs(self.deadlines)))
+        demand = np.where(self.deadlines > t + tol, 0.0, jobs * self.wcets)
         return math.fsum(demand)
 
     def hyperperiod(self) -> float | None:
@@ -255,15 +276,27 @@ def reset_profile_cache() -> None:
 
 
 def _profile(tasks: Sequence[Task]) -> _DemandProfile:
-    global _PROFILE_HITS, _PROFILE_MISSES, _PROFILE_EVICTIONS
     key = tuple((t.wcet, t.period, t.deadline) for t in tasks)
+    return _profile_by_key(key, tuple(tasks))
+
+
+def _profile_by_key(
+    key: tuple[TaskParams, ...], tasks: tuple[Task, ...] | None = None
+) -> _DemandProfile:
+    global _PROFILE_HITS, _PROFILE_MISSES, _PROFILE_EVICTIONS
     prof = _PROFILES.get(key)
     if prof is None:
         _PROFILE_MISSES += 1
         if len(_PROFILES) >= _PROFILE_CACHE_MAX:
             _PROFILES.pop(next(iter(_PROFILES)))
             _PROFILE_EVICTIONS += 1
-        prof = _DemandProfile(tuple(tasks))
+        if tasks is None:
+            # params-keyed entry (batch kernels): materialize Task
+            # objects only on a cache miss — hits never touch them
+            tasks = tuple(
+                Task(wcet=w, period=p, deadline=d) for (w, p, d) in key
+            )
+        prof = _DemandProfile(tasks)
     else:
         _PROFILE_HITS += 1
         # refresh recency: dicts preserve insertion order, so re-inserting
@@ -361,7 +394,28 @@ def qpa_edf_feasible(tasks: Sequence[Task], speed: float = 1.0) -> bool:
         raise ValueError("speed must be positive")
     if not tasks:
         return True
-    prof = _profile(tuple(tasks))
+    return _qpa_verdict(_profile(tuple(tasks)), speed)
+
+
+def qpa_feasible_params(
+    params: Sequence[TaskParams], speed: float
+) -> bool:
+    """QPA verdict for name-free ``(wcet, period, deadline)`` triples.
+
+    Same memoized profiles and verdicts as :func:`qpa_edf_feasible` —
+    the two entry points share the cache key (task names are excluded
+    from it), so the batch kernels' first-fit probes and the scalar
+    partitioner's probes answer each other bit-identically by
+    construction.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    if not params:
+        return True
+    return _qpa_verdict(_profile_by_key(tuple(params)), speed)
+
+
+def _qpa_verdict(prof: _DemandProfile, speed: float) -> bool:
     cached = prof._qpa.get(speed)
     if cached is not None:
         return cached
@@ -380,15 +434,17 @@ def _qpa_uncached(prof: _DemandProfile, speed: float) -> bool:
     def largest_deadline_below(x: float) -> float:
         best = 0.0
         for deadline, period in step_params:
-            if deadline < x - EPS:
-                # largest step point d + k p strictly below x
-                k = math.floor((x - deadline) / period - EPS)
+            if lt(deadline, x):
+                # largest step point d + k p strictly below x; tol_floor
+                # may land on or past x at an exact crossover, so walk k
+                # down until the point is tolerantly below
+                k = tol_floor((x - deadline) / period)
                 k = max(0, k)
                 cand = deadline + k * period
-                while cand >= x - EPS and k > 0:
+                while not lt(cand, x) and k > 0:
                     k -= 1
                     cand = deadline + k * period
-                if cand < x - EPS:
+                if lt(cand, x):
                     best = max(best, cand)
         return best
 

@@ -31,7 +31,7 @@ from typing import Sequence
 
 from .bounds import ADMISSION_TESTS, AdmissionTest, MachineState, _NeumaierSum
 from .dbf import dbf
-from .model import EPS, Task, leq
+from .model import EPS, Task, leq, lt
 
 __all__ = [
     "approx_dbf",
@@ -44,10 +44,10 @@ def approx_dbf(task: Task, t: float, k: int) -> float:
     """The k-step approximate demand bound ``dbf*_k`` of one task."""
     if k < 1:
         raise ValueError("k must be at least 1")
-    if t < task.deadline - EPS:
+    if lt(t, task.deadline):
         return 0.0
     linear_from = task.deadline + (k - 1) * task.period
-    if t < linear_from - EPS:
+    if lt(t, linear_from):
         return dbf(task, t)
     return k * task.wcet + (t - linear_from) * task.utilization
 

@@ -22,7 +22,9 @@ __all__ = [
     "EPS",
     "leq",
     "geq",
+    "lt",
     "close",
+    "tol_floor",
     "Task",
     "TaskSet",
     "Machine",
@@ -47,9 +49,33 @@ def geq(a: float, b: float, *, eps: float = EPS) -> bool:
     return leq(b, a, eps=eps)
 
 
+def lt(a: float, b: float, *, eps: float = EPS) -> bool:
+    """Tolerant strict ``a < b`` — the negation of :func:`geq`.
+
+    True only when ``a`` is below ``b`` by more than the scale-aware
+    tolerance, so a boundary pair (``a`` within noise of ``b``) counts as
+    *not* less.  Use this for open-interval gates (e.g. "no job of the
+    task fits in an interval shorter than its deadline") where the closed
+    side must win at the boundary.
+    """
+    return not leq(b, a, eps=eps)
+
+
 def close(a: float, b: float, *, eps: float = EPS) -> bool:
     """Tolerant equality."""
     return leq(a, b, eps=eps) and leq(b, a, eps=eps)
+
+
+def tol_floor(x: float, *, eps: float = EPS) -> float:
+    """``floor`` with scale-aware snap-up at integer boundaries.
+
+    ``math.floor(q + EPS)`` (the pre-PR-8 idiom) stops rescuing exact
+    integers once ``|q|`` is large enough that the division error
+    exceeds the absolute constant; scaling the nudge by
+    ``max(1, |x|)`` keeps the rescue working at every magnitude while
+    still never rounding a genuinely interior value up.
+    """
+    return math.floor(x + eps * max(1.0, abs(x)))
 
 
 @dataclass(frozen=True, slots=True)

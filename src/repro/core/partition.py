@@ -35,7 +35,7 @@ __all__ = [
     "verify_partition",
 ]
 
-TaskOrder = Literal["util-desc", "util-asc", "input"]
+TaskOrder = Literal["util-desc", "util-asc", "deadline-asc", "input"]
 MachineOrder = Literal["speed-asc", "speed-desc"]
 FitRule = Literal["first", "best", "worst", "next"]
 
@@ -79,6 +79,12 @@ def _task_order(taskset: TaskSet, rule: TaskOrder) -> list[int]:
         return taskset.order_by_utilization(descending=True)
     if rule == "util-asc":
         return taskset.order_by_utilization(descending=False)
+    if rule == "deadline-asc":
+        # deadline-monotonic processing order (Han–Zhao / Chen first-fit);
+        # sort() is stable, so ties keep input position
+        idx = list(range(len(taskset)))
+        idx.sort(key=lambda i: taskset[i].deadline)
+        return idx
     if rule == "input":
         return list(range(len(taskset)))
     raise ValueError(f"unknown task order {rule!r}")

@@ -24,7 +24,14 @@ from typing import Sequence
 
 from .model import EPS, Task, leq
 
-__all__ = ["rms_priority_order", "rms_response_times", "rms_rta_schedulable"]
+__all__ = [
+    "rms_priority_order",
+    "dm_priority_order",
+    "fp_response_times",
+    "rms_response_times",
+    "rms_rta_schedulable",
+    "dm_rta_schedulable",
+]
 
 #: Iteration cap: RTA converges or diverges past the deadline long before
 #: this for any sane instance; the cap guards against pathological floats.
@@ -43,6 +50,19 @@ def rms_priority_order(tasks: Sequence[Task]) -> list[int]:
     return idx
 
 
+def dm_priority_order(tasks: Sequence[Task]) -> list[int]:
+    """Indices of ``tasks`` from highest to lowest DM priority.
+
+    Deadline-monotonic priority: shorter relative deadline = higher
+    priority; ties broken by position.  DM is the optimal fixed-priority
+    assignment for constrained deadlines (Leung & Whitehead), and it
+    coincides with RM on implicit-deadline sets.
+    """
+    idx = list(range(len(tasks)))
+    idx.sort(key=lambda i: (tasks[i].deadline, i))
+    return idx
+
+
 def _tolerant_ceil(x: float) -> float:
     """``ceil`` that treats values a hair above an integer as that integer.
 
@@ -56,13 +76,20 @@ def _tolerant_ceil(x: float) -> float:
     return f + 1.0
 
 
-def rms_response_times(
-    tasks: Sequence[Task], speed: float = 1.0
+def fp_response_times(
+    tasks: Sequence[Task],
+    speed: float = 1.0,
+    *,
+    order: Sequence[int] | None = None,
 ) -> list[float] | None:
-    """Worst-case response times under RMS on a speed-``speed`` machine.
+    """Worst-case response times under fixed priorities on a
+    speed-``speed`` machine.
 
-    Returns a list aligned with ``tasks`` (original order) of worst-case
-    response times if every task meets its deadline, else ``None``.
+    ``order`` lists task indices from highest to lowest priority
+    (default: rate-monotonic).  Returns a list aligned with ``tasks``
+    (original order) of worst-case response times if every task meets
+    its deadline, else ``None``.  The analysis is exact whenever every
+    deadline is at most its period (checked against ``min(d, p)``).
 
     Raises
     ------
@@ -74,7 +101,8 @@ def rms_response_times(
     n = len(tasks)
     if n == 0:
         return []
-    order = rms_priority_order(tasks)
+    if order is None:
+        order = rms_priority_order(tasks)
     responses: list[float] = [0.0] * n
     higher: list[Task] = []
     for i in order:
@@ -105,6 +133,26 @@ def rms_response_times(
     return responses
 
 
+def rms_response_times(
+    tasks: Sequence[Task], speed: float = 1.0
+) -> list[float] | None:
+    """Worst-case response times under RMS (see :func:`fp_response_times`)."""
+    return fp_response_times(tasks, speed)
+
+
 def rms_rta_schedulable(tasks: Sequence[Task], speed: float = 1.0) -> bool:
     """Exact RMS schedulability on a speed-``speed`` machine."""
     return rms_response_times(tasks, speed) is not None
+
+
+def dm_rta_schedulable(tasks: Sequence[Task], speed: float = 1.0) -> bool:
+    """Exact DM schedulability on a speed-``speed`` machine.
+
+    Exact for constrained deadlines (``d <= p``), where DM is the
+    optimal fixed-priority order; on implicit-deadline sets it equals
+    :func:`rms_rta_schedulable`.
+    """
+    return (
+        fp_response_times(tasks, speed, order=dm_priority_order(tasks))
+        is not None
+    )

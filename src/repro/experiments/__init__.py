@@ -1,4 +1,4 @@
-"""The E1–E17 evaluation suite (see DESIGN.md §3).
+"""The E1–E23 evaluation suite (see DESIGN.md §3).
 
 Importing this package registers every experiment; run one with::
 
@@ -35,6 +35,8 @@ from . import (  # noqa: F401  (import-for-side-effect)
     e15_anomalies,
     e16_migration,
     e17_breakdown,
+    e22_accept_deadline,
+    e23_speedup_deadline,
 )
 
 __all__ = [

@@ -47,8 +47,18 @@ __all__ = ["Instance", "test_feasibility_batch", "first_fit_batch"]
 #: One batch element: the task set and the platform to place it on.
 Instance = tuple[TaskSet, Platform]
 
-#: Admission tests the kernels implement (the paper's O(1)-state pair).
-_KERNEL_TESTS = ("edf", "rms-ll")
+#: Admission tests the kernels implement: the paper's O(1)-state pair
+#: plus the exact constrained-deadline QPA walk (see ``dbfloop``).
+_KERNEL_TESTS = ("edf", "rms-ll", "edf-dbf")
+
+#: The error every entry point raises on a constrained task set reaching
+#: a theorem test — one string, so service error bodies cannot drift
+#: between the scalar and kernel paths.
+_IMPLICIT_ERROR = (
+    "the theorem tests require implicit deadlines (the paper's model); "
+    "for constrained deadlines partition with the 'edf-dbf' admission "
+    "test instead"
+)
 
 _LL_TABLES: dict[int, list[float]] = {}
 _LL_TABLES_MAX = 64
@@ -122,18 +132,23 @@ def _run_shard(
     alpha: float,
     backend: str,
     meta: ReportMeta | None,
-    require_implicit: bool,
 ) -> list:
     """Evaluate one uniform (task count, speeds) shard."""
-    if require_implicit:
-        for ent in entries:
-            if not ent.implicit:
-                raise ValueError(
-                    "the theorem tests require implicit deadlines (the "
-                    "paper's model); for constrained deadlines partition "
-                    "with the 'edf-dbf' admission test instead"
-                )
     pfe = platform_entry(speeds, alpha)
+    m = len(speeds)
+    if test_name == "edf-dbf":
+        # QPA admission is a sequential fixed-point iteration, so both
+        # kernel backends share the structure-of-arrays demand walk;
+        # verdicts are memoized jointly with the scalar path
+        from . import dbfloop
+
+        raw_dbf = dbfloop.solve_shard_dbf(entries, pfe)
+        return [
+            _assemble(
+                raw_dbf[t], entries[t], platforms[t], m, alpha, test_name, meta
+            )
+            for t in range(len(entries))
+        ]
     ll_tab = _ll_table(n) if rms else []
     if backend == "numpy":
         from . import lockstep  # deferred: numpy is optional here
@@ -142,7 +157,6 @@ def _run_shard(
             entries, platforms, pfe, alpha, rms, test_name, ll_tab, meta
         )
     raw = pyloop.solve_shard(entries, pfe, rms, ll_tab)
-    m = len(speeds)
     return [
         _assemble(raw[t], entries[t], platforms[t], m, alpha, test_name, meta)
         for t in range(len(entries))
@@ -156,8 +170,6 @@ def _evaluate_sharded(
     backend: str,
     meta: ReportMeta | None,
     scalar_one: Callable[[TaskSet, Platform], object],
-    *,
-    require_implicit: bool = False,
 ) -> list:
     """Shard by (task count, speeds), run the kernel, scatter back."""
     rms = test_name == "rms-ll"
@@ -178,7 +190,6 @@ def _evaluate_sharded(
             alpha,
             backend,
             meta,
-            require_implicit,
         )
     shards: dict[tuple[int, tuple[float, ...]], list[int]] = {}
     last_pf: Platform | None = None
@@ -205,7 +216,6 @@ def _evaluate_sharded(
             alpha,
             backend,
             meta,
-            require_implicit,
         )
         for t, i in enumerate(idxs):
             out[i] = results[t]
@@ -248,6 +258,12 @@ def test_feasibility_batch(
         if alpha <= 0:
             raise ValueError("alpha must be positive")
         a = alpha
+    # validate the whole batch up front, before any backend evaluates
+    # anything: a constrained task set must fail identically (same
+    # exception, same message, no partial work) on every backend
+    for ts, _ in items:
+        if not ts.is_implicit:
+            raise ValueError(_IMPLICIT_ERROR)
     resolved = resolve_backend(backend)
 
     def scalar_one(ts: TaskSet, pf: Platform) -> FeasibilityReport:
@@ -263,7 +279,6 @@ def test_feasibility_batch(
         resolved,
         meta,
         scalar_one,
-        require_implicit=True,
     )
 
 
@@ -278,13 +293,14 @@ def first_fit_batch(
 
     Semantically ``[first_fit_partition(ts, pf, test, alpha=alpha) for
     ts, pf in instances]`` with bit-identical results, restricted to the
-    O(1)-state admission tests the kernels implement (``edf`` and
-    ``rms-ll``); other admission tests keep the scalar partitioner.
+    admission tests the kernels implement: the O(1)-state pair (``edf``,
+    ``rms-ll``) and the exact constrained-deadline QPA walk
+    (``edf-dbf``); other admission tests keep the scalar partitioner.
     """
     if test not in _KERNEL_TESTS:
         raise ValueError(
-            f"first_fit_batch supports the O(1)-state admission tests "
-            f"{_KERNEL_TESTS[0]!r} and {_KERNEL_TESTS[1]!r}, not {test!r}; "
+            f"first_fit_batch supports the admission tests "
+            f"{', '.join(repr(t) for t in _KERNEL_TESTS)}, not {test!r}; "
             f"use repro.core.partition.partition for other tests"
         )
     if alpha <= 0:

@@ -13,8 +13,8 @@ bit-identical rewrite of its scalar reference:
 * :func:`dbf_demand_batch` — per task set, the demand bound function at
   a shared grid of interval lengths, replaying
   :func:`repro.core.dbf.dbf_taskset`'s profile arithmetic
-  (``floor((t - d)/p + EPS) + 1`` jobs, deadline gate at ``d - EPS``,
-  fsum) element-for-element.
+  (scale-aware ``tol_floor((t - d)/p) + 1`` jobs, ``lt(t, d)`` deadline
+  gate, fsum) element-for-element.
 
 Both accept the same ``backend`` knob as the batch tests; the ``kernel``
 and ``numpy`` paths differ only in how the per-task parameter walk is
@@ -93,8 +93,10 @@ def dbf_demand_batch(
             row = []
             for t in grid:
                 # _DemandProfile.dbf, replayed on local arrays
-                jobs = np.floor((t - dl) / pr + EPS) + 1.0
-                demand = np.where(t < dl - EPS, 0.0, jobs * wc)
+                q = (t - dl) / pr
+                jobs = np.floor(q + EPS * np.maximum(1.0, np.abs(q))) + 1.0
+                tol = EPS * np.maximum(1.0, np.maximum(abs(t), np.abs(dl)))
+                demand = np.where(dl > t + tol, 0.0, jobs * wc)
                 row.append(math.fsum(demand))
             out.append(row)
         return out
@@ -109,11 +111,20 @@ def dbf_demand_batch(
         wc = array("d", (t.wcet for t in ts.tasks))
         row = []
         for t in grid:
+            # inlined lt(t, d) gate and tol_floor((t - d)/p), same
+            # expressions as the scalar dbf()
             row.append(
                 math.fsum(
                     0.0
-                    if t < dl[i] - EPS
-                    else (floor((t - dl[i]) / pr[i] + EPS) + 1.0) * wc[i]
+                    if dl[i] > t + EPS * max(1.0, abs(t), dl[i])
+                    else (
+                        floor(
+                            (q := (t - dl[i]) / pr[i])
+                            + EPS * max(1.0, abs(q))
+                        )
+                        + 1.0
+                    )
+                    * wc[i]
                     for i in range(n)
                 )
             )

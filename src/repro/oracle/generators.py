@@ -186,6 +186,64 @@ def _boundary_capacity(rng: np.random.Generator) -> tuple[TaskSet, Platform]:
     return taskset, platform
 
 
+def _constrained(rng: np.random.Generator) -> tuple[TaskSet, Platform]:
+    """Constrained-deadline instances across the deadline-ratio axis.
+
+    Per-task ``d_i/p_i`` ratios drawn uniform or log-uniform on a range
+    whose lower end varies per trial, at stresses spanning feasible to
+    overloaded — the home turf of the ``edf-dbf``/``han-zhao``/
+    ``chen-dm`` family and the constrained lattice checks.
+    """
+    platform = draw_platform(rng)
+    n = int(rng.integers(1, 7))
+    stress = float(rng.uniform(0.3, 1.1))
+    dr_min = float(rng.uniform(0.3, 0.9))
+    dr_dist = "uniform" if rng.integers(0, 2) else "loguniform"
+    return (
+        generate_taskset(
+            rng,
+            n,
+            stress * platform.total_speed,
+            dr_dist=dr_dist,  # type: ignore[arg-type]
+            dr_min=dr_min,
+            dr_max=1.0,
+        ),
+        platform,
+    )
+
+
+def _boundary_qpa(rng: np.random.Generator) -> tuple[TaskSet, Platform]:
+    """Machine speed pushed onto the exact processor-demand threshold.
+
+    Small integer-parameter constrained sets, with the (single) machine
+    speed set to ``max_t dbf(t)/t`` over the demand points in one
+    hyperperiod — the critical speed ``s*`` at which the set is exactly
+    feasible — then tolerance-nudged.  Lands QPA's fixed-point iteration
+    exactly on the ``dbf(t) <= s t`` boundary at step points ``d + k p``,
+    where the pre-PR-8 absolute-EPS floor/gate bugs lived.
+    """
+    from ..core.dbf import dbf_taskset, demand_points
+
+    n = int(rng.integers(1, 4))
+    tasks = []
+    for i in range(n):
+        period = float(rng.integers(2, 13))
+        deadline = float(rng.integers(1, int(period) + 1))
+        wcet = float(rng.integers(1, max(2, int(deadline) + 1)))
+        tasks.append(
+            Task(wcet=wcet, period=period, deadline=deadline, name=f"tau{i}")
+        )
+    taskset = TaskSet(tasks)
+    # integer periods <= 12 => hyperperiod <= lcm(2..12) = 27720
+    hyper = math.lcm(*(int(t.period) for t in tasks))
+    horizon = float(max(hyper, max(int(t.deadline) for t in tasks)))
+    crit = max(
+        dbf_taskset(tasks, t) / t for t in demand_points(tasks, horizon)
+    )
+    speed = max(crit, 1e-6) * _nudge(rng)
+    return taskset, identical_platform(1, speed=speed)
+
+
 #: Profile name -> generator.  Order is part of the fuzzer's determinism
 #: contract: a trial's profile is chosen by index into this mapping.
 PROFILES: dict[str, object] = {
@@ -195,6 +253,8 @@ PROFILES: dict[str, object] = {
     "boundary-rms-ll": _boundary_rms_ll,
     "boundary-rms-hyperbolic": _boundary_rms_hyperbolic,
     "boundary-capacity": _boundary_capacity,
+    "constrained": _constrained,
+    "boundary-qpa": _boundary_qpa,
 }
 
 

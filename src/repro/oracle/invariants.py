@@ -143,6 +143,11 @@ def check_single_machine_lattice(
     taskset: TaskSet, platform: Platform, config: OracleConfig
 ) -> list[Violation]:
     """Per-speed dominance chain: LL ⇒ hyperbolic ⇒ exact RTA ⇒ EDF."""
+    if not taskset.is_implicit:
+        # The utilization-based links are implicit-deadline theorems
+        # (hyperbolic ⇒ RTA is false for d < p); the constrained chain
+        # lives in check_constrained_lattice.
+        return []
     out: list[Violation] = []
     chain = [
         ("rms-ll", "rms-hyperbolic", "Bini–Buttazzo dominance"),
@@ -359,6 +364,10 @@ def check_certificates(
         # feasibility_test always uses the registry tests; auditing it
         # against injected fakes would report spurious violations.
         return []
+    if not taskset.is_implicit:
+        # feasibility_test refuses constrained-deadline input by design;
+        # the constrained family has no rejection certificates.
+        return []
     out: list[Violation] = []
     for scheduler, exact, limit in (
         ("edf", exact_partitioned_edf_feasible, config.edf_node_limit),
@@ -447,11 +456,34 @@ def check_roundtrip(
                 "renaming",
             )
         )
-    report = feasibility_test(taskset, platform, "edf", "partitioned")
-    if not _report_roundtrip_identity(report):
-        out.append(
-            Violation("roundtrip", "feasibility report round-trip differs")
-        )
+    # ... but *not* blind to the deadline axis: nudging one constrained
+    # task's deadline (derived deterministically, no RNG) must change it.
+    for i, t in enumerate(taskset):
+        if t.deadline < t.period:
+            bumped = 0.5 * (t.deadline + t.period)
+            if bumped != t.deadline and bumped <= t.period:
+                tasks = list(taskset.tasks)
+                tasks[i] = Task(
+                    wcet=t.wcet,
+                    period=t.period,
+                    deadline=bumped,
+                    name=t.name,
+                )
+                if instance_digest(TaskSet(tasks), platform) == digest:
+                    out.append(
+                        Violation(
+                            "roundtrip",
+                            f"digest blind to a deadline-only change on "
+                            f"task {i}",
+                        )
+                    )
+            break
+    if taskset.is_implicit:
+        report = feasibility_test(taskset, platform, "edf", "partitioned")
+        if not _report_roundtrip_identity(report):
+            out.append(
+                Violation("roundtrip", "feasibility report round-trip differs")
+            )
     return out
 
 
@@ -468,9 +500,39 @@ def check_service_roundtrip(
     from ..core.partition import PartitionResult
     from ..io_.serialize import partition_result_from_dict
     from ..service.app import FeasibilityService
+    from ..service.validation import ValidationError
 
     out: list[Violation] = []
     service = FeasibilityService(jobs=1, cache_size=16)
+    if not taskset.is_implicit:
+        # The theorem endpoint must refuse constrained deadlines with a
+        # *field-level* validation error (never a mid-evaluation crash).
+        payload = {
+            "taskset": taskset_to_dict(taskset),
+            "platform": platform_to_dict(platform),
+            "scheduler": "edf",
+            "adversary": "partitioned",
+        }
+        try:
+            service.handle_test(payload)
+        except ValidationError as exc:
+            if not any("deadline" in e.field for e in exc.errors):
+                out.append(
+                    Violation(
+                        "service-roundtrip",
+                        "constrained submission rejected without a "
+                        "deadline field error",
+                    )
+                )
+        else:
+            out.append(
+                Violation(
+                    "service-roundtrip",
+                    "service accepted a constrained-deadline /v1/test "
+                    "submission",
+                )
+            )
+        return out
     for scheduler in ("edf", "rms"):
         direct = feasibility_test(taskset, platform, scheduler, "partitioned")
         for submitted in (taskset, taskset.subset(range(len(taskset) - 1, -1, -1))):
@@ -535,69 +597,101 @@ def check_backend_equivalence(
     from ..kernels import (
         available_kernel_backends,
         dbf_demand_batch,
+        first_fit_batch,
         test_feasibility_batch,
         utilization_bounds_batch,
     )
 
-    if not taskset.is_implicit:
-        # Every backend rejects constrained deadlines with the same
-        # ValueError before evaluating; nothing to compare.
-        return []
     audited = tuple(
         b for b in (config.backends or available_kernel_backends())
         if b != "scalar"
     )
     out: list[Violation] = []
     reversed_ts = taskset.subset(range(len(taskset) - 1, -1, -1))
-    for scheduler in ("edf", "rms"):
-        for alpha in (None, 1.0):
-            direct = [
-                report_to_dict(
-                    feasibility_test(
-                        ts, platform, scheduler, "partitioned", alpha=alpha
+    if taskset.is_implicit:
+        for scheduler in ("edf", "rms"):
+            for alpha in (None, 1.0):
+                direct = [
+                    report_to_dict(
+                        feasibility_test(
+                            ts, platform, scheduler, "partitioned", alpha=alpha
+                        )
                     )
-                )
-                for ts in (taskset, reversed_ts)
-            ]
-            for backend in audited:
-                got = [
-                    report_to_dict(r)
-                    for r in test_feasibility_batch(
-                        [(taskset, platform), (reversed_ts, platform)],
-                        scheduler,
-                        "partitioned",
-                        alpha=alpha,
-                        backend=backend,
-                    )
+                    for ts in (taskset, reversed_ts)
                 ]
-                single = report_to_dict(
-                    test_feasibility_batch(
-                        [(taskset, platform)],
-                        scheduler,
-                        "partitioned",
-                        alpha=alpha,
-                        backend=backend,
-                    )[0]
-                )
-                for label, scalar_d, batch_d in (
-                    ("batch[0]", direct[0], got[0]),
-                    ("batch[1]", direct[1], got[1]),
-                    ("singleton", direct[0], single),
-                ):
-                    if batch_d != scalar_d:
-                        keys = sorted(
-                            k
-                            for k in set(scalar_d) | set(batch_d)
-                            if scalar_d.get(k) != batch_d.get(k)
+                for backend in audited:
+                    got = [
+                        report_to_dict(r)
+                        for r in test_feasibility_batch(
+                            [(taskset, platform), (reversed_ts, platform)],
+                            scheduler,
+                            "partitioned",
+                            alpha=alpha,
+                            backend=backend,
                         )
-                        out.append(
-                            Violation(
-                                "backend-equivalence",
-                                f"{backend} {label} report != scalar for "
-                                f"{scheduler}/partitioned alpha={alpha!r}; "
-                                f"differing keys: {keys}",
+                    ]
+                    single = report_to_dict(
+                        test_feasibility_batch(
+                            [(taskset, platform)],
+                            scheduler,
+                            "partitioned",
+                            alpha=alpha,
+                            backend=backend,
+                        )[0]
+                    )
+                    for label, scalar_d, batch_d in (
+                        ("batch[0]", direct[0], got[0]),
+                        ("batch[1]", direct[1], got[1]),
+                        ("singleton", direct[0], single),
+                    ):
+                        if batch_d != scalar_d:
+                            keys = sorted(
+                                k
+                                for k in set(scalar_d) | set(batch_d)
+                                if scalar_d.get(k) != batch_d.get(k)
                             )
+                            out.append(
+                                Violation(
+                                    "backend-equivalence",
+                                    f"{backend} {label} report != scalar for "
+                                    f"{scheduler}/partitioned alpha={alpha!r};"
+                                    f" differing keys: {keys}",
+                                )
+                            )
+    else:
+        # The theorem batch path refuses constrained input up front with
+        # the scalar path's exact error text — on every backend, never a
+        # mid-evaluation crash from inside a shard.
+        try:
+            feasibility_test(taskset, platform, "edf", "partitioned")
+            want: str | None = None
+        except ValueError as exc:
+            want = str(exc)
+        for backend in audited:
+            try:
+                test_feasibility_batch(
+                    [(taskset, platform), (reversed_ts, platform)],
+                    "edf",
+                    "partitioned",
+                    backend=backend,
+                )
+            except ValueError as exc:
+                if want is None or str(exc) != want:
+                    out.append(
+                        Violation(
+                            "backend-equivalence",
+                            f"{backend} constrained rejection error differs "
+                            f"from the scalar path",
                         )
+                    )
+            else:
+                out.append(
+                    Violation(
+                        "backend-equivalence",
+                        f"{backend} evaluated a constrained batch the "
+                        f"scalar path refuses",
+                    )
+                )
     # Batched primitives: exact equality against their scalar definitions.
     times = sorted({t.deadline for t in taskset} | {t.period for t in taskset})
     scalar_bounds = [
@@ -631,6 +725,175 @@ def check_backend_equivalence(
                     f"{backend} dbf_demand_batch != scalar",
                 )
             )
+    # First-fit with the exact QPA admission runs on *every* deadline
+    # model; the dbfloop kernel must reproduce the scalar partitioner
+    # bit-for-bit (assignment, failed index, compensated loads).
+    qpa_test = ADMISSION_TESTS["edf-dbf"]
+    scalar_ff = [
+        first_fit_partition(ts, platform, qpa_test, alpha=1.0)
+        for ts in (taskset, reversed_ts)
+    ]
+    for backend in audited:
+        got_ff = first_fit_batch(
+            [(taskset, platform), (reversed_ts, platform)],
+            "edf-dbf",
+            backend=backend,
+        )
+        single_ff = first_fit_batch(
+            [(taskset, platform)], "edf-dbf", backend=backend
+        )[0]
+        for label, want_r, have_r in (
+            ("batch[0]", scalar_ff[0], got_ff[0]),
+            ("batch[1]", scalar_ff[1], got_ff[1]),
+            ("singleton", scalar_ff[0], single_ff),
+        ):
+            if have_r != want_r:
+                out.append(
+                    Violation(
+                        "backend-equivalence",
+                        f"{backend} first_fit_batch('edf-dbf') {label} != "
+                        f"scalar first-fit partition",
+                    )
+                )
+    return out
+
+
+def check_constrained_lattice(
+    taskset: TaskSet, platform: Platform, config: OracleConfig
+) -> list[Violation]:
+    """Per-speed dominance chain on the constrained-deadline family.
+
+    Two sufficiency chains end in the exact processor-demand test —
+    Han–Zhao's linearized dbf (k=1) ⇒ approximate dbf (k=4) ⇒ QPA, and
+    Chen's FBB linear bound ⇒ DM response-time analysis ⇒ QPA (EDF
+    optimality) — bracketed by the density sufficient condition below
+    and the utilization necessary condition above.  Holds for any
+    ``d <= p`` set, implicit ones included; arbitrary deadlines
+    (``d > p``) are outside the lattice and skipped.
+    """
+    from ..baselines.chen_fp_dbf import chen_fp_feasible
+    from ..baselines.han_zhao import han_zhao_feasible
+    from ..core.dbf import qpa_edf_feasible
+    from ..core.dbf_approx import edf_approx_demand_feasible
+    from ..core.rta import dm_rta_schedulable
+
+    if any(t.deadline > t.period for t in taskset):
+        return []
+    out: list[Violation] = []
+    tasks = list(taskset)
+    m = config.margin
+    for speed in sorted(set(platform.speeds)):
+        qpa = qpa_edf_feasible(tasks, speed)
+        links = (
+            (
+                "han-zhao(k=1)",
+                han_zhao_feasible(tasks, speed * (1.0 - m)),
+                "edf-dbf-approx(k=4)",
+                edf_approx_demand_feasible(tasks, speed, k=4),
+                "coarser approximate dbf dominates finer",
+            ),
+            (
+                "edf-dbf-approx(k=4)",
+                edf_approx_demand_feasible(tasks, speed * (1.0 - m), k=4),
+                "edf-dbf",
+                qpa,
+                "approximate dbf upper-bounds the exact dbf",
+            ),
+            (
+                "chen-dm",
+                chen_fp_feasible(tasks, speed * (1.0 - m)),
+                "dm-rta",
+                dm_rta_schedulable(tasks, speed),
+                "FBB linear bound upper-bounds the DM request bound",
+            ),
+            (
+                "dm-rta",
+                dm_rta_schedulable(tasks, speed * (1.0 - m)),
+                "edf-dbf",
+                qpa,
+                "EDF optimality on one machine",
+            ),
+        )
+        for weaker, w_ok, stronger, s_ok, why in links:
+            if w_ok and not s_ok:
+                out.append(
+                    Violation(
+                        "constrained-lattice",
+                        f"{weaker} accepts but {stronger} rejects at "
+                        f"speed {speed!r} ({why})",
+                    )
+                )
+        density = taskset.total_density
+        if density <= speed * (1.0 - m) and not qpa:
+            out.append(
+                Violation(
+                    "constrained-lattice",
+                    f"total density {density!r} fits speed {speed!r} but "
+                    f"QPA rejects (density sufficiency)",
+                )
+            )
+        total_u = taskset.total_utilization
+        if (
+            qpa_edf_feasible(tasks, speed * (1.0 - m))
+            and total_u > speed * (1.0 + m)
+        ):
+            out.append(
+                Violation(
+                    "constrained-lattice",
+                    f"QPA accepts at speed {speed!r} but utilization "
+                    f"{total_u!r} exceeds it (necessary condition)",
+                )
+            )
+    return out
+
+
+def check_constrained_partition(
+    taskset: TaskSet, platform: Platform, config: OracleConfig
+) -> list[Violation]:
+    """First-fit with the constrained-deadline admissions is sound.
+
+    Every successful partition re-verifies one-shot, and — because the
+    QPA walk is exact and the Han–Zhao/Chen admissions are sufficient —
+    every machine the partitioner builds must pass the exact
+    processor-demand test at its own (margin-granted) speed.
+    """
+    from ..baselines.chen_fp_dbf import ChenFPAdmissionTest
+    from ..baselines.han_zhao import HanZhaoAdmissionTest
+    from ..core.dbf import qpa_edf_feasible
+
+    if any(t.deadline > t.period for t in taskset):
+        return []
+    out: list[Violation] = []
+    tests: tuple[AdmissionTest, ...] = (
+        ADMISSION_TESTS["edf-dbf"],
+        HanZhaoAdmissionTest(),
+        ChenFPAdmissionTest(),
+    )
+    for test in tests:
+        result = first_fit_partition(taskset, platform, test, alpha=1.0)
+        if not result.success:
+            continue
+        if not verify_partition(result, taskset, platform, test):
+            out.append(
+                Violation(
+                    "constrained-partition",
+                    f"first-fit({test.name}) succeeded but "
+                    f"verify_partition rejects the assignment",
+                )
+            )
+        for j, idxs in enumerate(result.machine_tasks):
+            if not idxs:
+                continue
+            machine = [taskset[i] for i in idxs]
+            speed = platform[j].speed * (1.0 + config.margin)
+            if not qpa_edf_feasible(machine, speed):
+                out.append(
+                    Violation(
+                        "constrained-partition",
+                        f"first-fit({test.name}) machine {j} fails the "
+                        f"exact processor-demand test at its speed",
+                    )
+                )
     return out
 
 
@@ -645,6 +908,8 @@ CHECKS: dict[str, Callable[[TaskSet, Platform, OracleConfig], list[Violation]]] 
     "roundtrip": check_roundtrip,
     "service-roundtrip": check_service_roundtrip,
     "backend-equivalence": check_backend_equivalence,
+    "constrained-lattice": check_constrained_lattice,
+    "constrained-partition": check_constrained_partition,
 }
 
 #: The sub-lattice that exercises one admission test in isolation —

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.bounds import ADMISSION_TESTS
-from ..core.model import Machine, Platform, Task, TaskSet
+from ..core.model import Machine, Platform, Task, TaskSet, close
 
 __all__ = [
     "FieldError",
@@ -142,16 +142,25 @@ def _parse_taskset(
         if wcet is None or period is None:
             ok = False
             continue
-        if require_implicit and deadline is not None and deadline != period:
-            errors.append(
-                FieldError(
-                    f"{here}.deadline",
-                    "the theorem tests require implicit deadlines "
-                    "(omit 'deadline' or set it equal to 'period')",
+        if require_implicit and deadline is not None:
+            # tolerant compare: a deadline that equals the period only
+            # after a float round-trip (e.g. serialized at lower
+            # precision) is still an implicit-deadline submission
+            if not close(deadline, period):
+                errors.append(
+                    FieldError(
+                        f"{here}.deadline",
+                        "the theorem tests require implicit deadlines "
+                        "(omit 'deadline' or set it equal to 'period')",
+                    )
                 )
-            )
-            ok = False
-            continue
+                ok = False
+                continue
+            # snap to implicit so Task.is_implicit (an exact structural
+            # predicate) holds downstream — otherwise a tolerantly-equal
+            # deadline would pass validation here and then blow up in
+            # the theorem tests' own implicit check mid-evaluation
+            deadline = None
         tasks.append(Task(wcet=wcet, period=period, deadline=deadline,
                           name=str(td.get("name", ""))))
     return TaskSet(tasks) if ok else None

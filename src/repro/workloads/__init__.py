@@ -3,13 +3,19 @@ complete instances, and experiment campaigns."""
 
 from .builder import (
     PartitionedInstance,
+    constrained_feasible_instance,
     generate_taskset,
     lp_feasible_instance,
     partitioned_feasible_instance,
     taskset_from_utilizations,
 )
 from .campaigns import Campaign, Trial, campaign_seed, utilization_grid
-from .periods import choice_periods, harmonic_periods, log_uniform_periods
+from .periods import (
+    choice_periods,
+    deadline_ratios,
+    harmonic_periods,
+    log_uniform_periods,
+)
 from .platforms import (
     big_little_platform,
     geometric_platform,
@@ -23,6 +29,7 @@ from .uunifast import uunifast, uunifast_discard
 
 __all__ = [
     "PartitionedInstance",
+    "constrained_feasible_instance",
     "generate_taskset",
     "lp_feasible_instance",
     "partitioned_feasible_instance",
@@ -32,6 +39,7 @@ __all__ = [
     "campaign_seed",
     "utilization_grid",
     "choice_periods",
+    "deadline_ratios",
     "harmonic_periods",
     "log_uniform_periods",
     "big_little_platform",

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..core.lp import lp_feasible
 from ..core.model import Platform, Task, TaskSet
-from .periods import log_uniform_periods
+from .periods import deadline_ratios, log_uniform_periods
 from .randfixedsum import randfixedsum
 from .uunifast import uunifast, uunifast_discard
 
@@ -30,6 +30,7 @@ __all__ = [
     "generate_taskset",
     "PartitionedInstance",
     "partitioned_feasible_instance",
+    "constrained_feasible_instance",
     "lp_feasible_instance",
 ]
 
@@ -62,12 +63,24 @@ def generate_taskset(
     p_min: float = 10.0,
     p_max: float = 1000.0,
     integer_periods: bool = False,
+    dr_dist: Literal["implicit", "uniform", "loguniform"] = "implicit",
+    dr_min: float = 0.5,
+    dr_max: float = 1.0,
 ) -> TaskSet:
     """Draw a synthetic task set.
 
     ``method='uunifast'`` (with optional ``u_max`` -> UUniFast-Discard) or
     ``method='randfixedsum'`` (supports both ``u_min`` and ``u_max``).
     Periods are log-uniform on ``[p_min, p_max]``.
+
+    The deadline-ratio axis: ``dr_dist='implicit'`` (default) leaves
+    every deadline equal to its period — the paper's model, and
+    bit-compatible with pre-existing pinned seeds since no extra random
+    draws happen.  ``'uniform'`` / ``'loguniform'`` draw per-task ratios
+    ``d_i/p_i`` from :func:`~repro.workloads.periods.deadline_ratios` on
+    ``[dr_min, dr_max]`` and set ``d_i = ratio_i * p_i``; wcets (hence
+    utilizations) are untouched, so the sweep isolates the deadline
+    axis.
     """
     if method == "uunifast":
         if u_min > 0:
@@ -93,7 +106,20 @@ def generate_taskset(
         p_max=p_max,
         granularity=1.0 if integer_periods else None,
     )
-    return taskset_from_utilizations(utils, periods)
+    if dr_dist == "implicit":
+        return taskset_from_utilizations(utils, periods)
+    ratios = deadline_ratios(
+        rng, n, distribution=dr_dist, dr_min=dr_min, dr_max=dr_max
+    )
+    return TaskSet(
+        Task(
+            wcet=float(u) * float(p),
+            period=float(p),
+            deadline=float(r) * float(p),
+            name=f"tau{i}",
+        )
+        for i, (u, p, r) in enumerate(zip(utils, periods, ratios))
+    )
 
 
 @dataclass(frozen=True)
@@ -157,6 +183,75 @@ def partitioned_feasible_instance(
     witness = tuple(owners[i] for i in perm)
     named = [
         Task(wcet=t.wcet, period=t.period, name=f"tau{i}")
+        for i, t in enumerate(shuffled)
+    ]
+    return PartitionedInstance(
+        taskset=TaskSet(named), platform=platform, witness=witness
+    )
+
+
+def constrained_feasible_instance(
+    rng: np.random.Generator,
+    platform: Platform,
+    *,
+    load: float = 0.9,
+    tasks_per_machine: int = 4,
+    dr_dist: Literal["uniform", "loguniform"] = "uniform",
+    dr_min: float = 0.5,
+    dr_max: float = 1.0,
+    p_min: float = 10.0,
+    p_max: float = 1000.0,
+    integer_periods: bool = False,
+) -> PartitionedInstance:
+    """A certified partitioned-EDF-feasible *constrained-deadline* instance.
+
+    The certificate is the density test: for each machine ``j``, draw
+    ``tasks_per_machine`` **densities** (``c_i / d_i``) summing to
+    ``load * s_j`` via UUniFast, draw deadline ratios on
+    ``[dr_min, dr_max]``, and set ``d_i = ratio_i * p_i`` and
+    ``c_i = density_i * d_i``.  Then each machine's total density is
+    ``load * s_j <= s_j``, which implies EDF feasibility on that machine
+    (``dbf(t) <= density * t`` pointwise for ``d <= p``), so the witness
+    partition is valid at speed 1 with no redraw loop.  Task order is
+    shuffled so the witness carries no ordering hints.
+    """
+    if not 0 < load <= 1.0:
+        raise ValueError("load must be in (0, 1]")
+    if tasks_per_machine < 1:
+        raise ValueError("tasks_per_machine must be positive")
+    if dr_max > 1.0:
+        raise ValueError(
+            "dr_max must be <= 1 (the density certificate needs d <= p)"
+        )
+    tasks: list[Task] = []
+    owners: list[int] = []
+    for j, machine in enumerate(platform):
+        densities = uunifast(rng, tasks_per_machine, load * machine.speed)
+        periods = log_uniform_periods(
+            rng,
+            tasks_per_machine,
+            p_min=p_min,
+            p_max=p_max,
+            granularity=1.0 if integer_periods else None,
+        )
+        ratios = deadline_ratios(
+            rng,
+            tasks_per_machine,
+            distribution=dr_dist,
+            dr_min=dr_min,
+            dr_max=dr_max,
+        )
+        for dens, p, r in zip(densities, periods, ratios):
+            d = float(r) * float(p)
+            tasks.append(
+                Task(wcet=float(dens) * d, period=float(p), deadline=d)
+            )
+            owners.append(j)
+    perm = rng.permutation(len(tasks))
+    shuffled = [tasks[i] for i in perm]
+    witness = tuple(owners[i] for i in perm)
+    named = [
+        Task(wcet=t.wcet, period=t.period, deadline=t.deadline, name=f"tau{i}")
         for i, t in enumerate(shuffled)
     ]
     return PartitionedInstance(

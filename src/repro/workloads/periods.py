@@ -13,7 +13,12 @@ import math
 
 import numpy as np
 
-__all__ = ["log_uniform_periods", "harmonic_periods", "choice_periods"]
+__all__ = [
+    "log_uniform_periods",
+    "harmonic_periods",
+    "choice_periods",
+    "deadline_ratios",
+]
 
 
 def log_uniform_periods(
@@ -73,3 +78,32 @@ def choice_periods(
     if any(c <= 0 for c in choices):
         raise ValueError("all period choices must be positive")
     return rng.choice(np.asarray(choices, dtype=float), size=n)
+
+
+def deadline_ratios(
+    rng: np.random.Generator,
+    n: int,
+    *,
+    distribution: str = "uniform",
+    dr_min: float = 0.5,
+    dr_max: float = 1.0,
+) -> np.ndarray:
+    """``n`` deadline/period ratios ``d_i / p_i`` on ``[dr_min, dr_max]``.
+
+    ``'uniform'`` draws the ratio linearly (the common constrained-
+    deadline benchmark convention); ``'loguniform'`` equalizes decades,
+    emphasizing tight deadlines the way :func:`log_uniform_periods`
+    emphasizes short periods.  ``dr_max <= 1`` keeps every deadline
+    constrained (``d <= p``); values above 1 yield arbitrary deadlines.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 < dr_min <= dr_max:
+        raise ValueError(
+            f"need 0 < dr_min <= dr_max, got [{dr_min}, {dr_max}]"
+        )
+    if distribution == "uniform":
+        return rng.uniform(dr_min, dr_max, size=n)
+    if distribution == "loguniform":
+        return np.exp(rng.uniform(math.log(dr_min), math.log(dr_max), size=n))
+    raise ValueError(f"unknown deadline-ratio distribution {distribution!r}")

@@ -1,0 +1,181 @@
+"""Tests for the constrained-deadline related-work baselines.
+
+Han–Zhao (linearized-dbf EDF admission) and Chen's FBB-FFD
+deadline-monotonic test: soundness against the exact QPA oracle,
+permutation invariance, the published speedup constants, and the
+registry/partition plumbing the campaigns rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    CHEN_DM_SPEEDUP,
+    HAN_ZHAO_SPEEDUP,
+    ChenFPAdmissionTest,
+    HanZhaoAdmissionTest,
+    chen_fp_feasible,
+    chen_partition,
+    han_zhao_feasible,
+    han_zhao_partition,
+)
+from repro.core.bounds import ADMISSION_TESTS, admission_test
+from repro.core.dbf import qpa_edf_feasible
+from repro.core.dbf_approx import edf_approx_demand_feasible
+from repro.core.model import Platform, Task, TaskSet
+from repro.core.partition import verify_partition
+from repro.core.rta import dm_rta_schedulable
+from repro.workloads.builder import generate_taskset
+from repro.workloads.platforms import geometric_platform
+
+constrained_task = st.builds(
+    lambda c, p, frac: Task(
+        wcet=float(c),
+        period=float(p),
+        deadline=max(float(c), round(frac * p, 3)),
+    ),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=5, max_value=30),
+    st.floats(min_value=0.3, max_value=1.0),
+)
+
+
+class TestSingleMachineSoundness:
+    """Both baselines are sufficient-only: acceptance implies QPA."""
+
+    @given(st.lists(constrained_task, min_size=1, max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_han_zhao_implies_qpa(self, tasks):
+        for speed in (0.7, 1.0, 1.6):
+            if han_zhao_feasible(tasks, speed):
+                assert qpa_edf_feasible(tasks, speed)
+
+    @given(st.lists(constrained_task, min_size=1, max_size=6))
+    @settings(max_examples=150, deadline=None)
+    def test_chen_implies_dm_rta_implies_qpa(self, tasks):
+        for speed in (0.7, 1.0, 1.6):
+            if chen_fp_feasible(tasks, speed):
+                assert dm_rta_schedulable(tasks, speed)
+                assert qpa_edf_feasible(tasks, speed)
+
+    @given(st.lists(constrained_task, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_han_zhao_is_the_k1_approximation(self, tasks):
+        # coarser dominates finer: k=1 acceptance implies k=4 acceptance
+        for speed in (0.8, 1.2):
+            got = han_zhao_feasible(tasks, speed)
+            assert got == edf_approx_demand_feasible(tasks, speed, k=1)
+            if got:
+                assert edf_approx_demand_feasible(tasks, speed, k=4)
+
+    @given(st.lists(constrained_task, min_size=2, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_chen_is_permutation_invariant_on_distinct_deadlines(self, tasks):
+        # the test sorts deadline-monotonically itself, so submission
+        # order cannot matter when deadlines are distinct (DM ties are
+        # broken by position, so exact ties may legitimately differ)
+        deadlines = [t.deadline for t in tasks]
+        if len(set(deadlines)) != len(deadlines):
+            return
+        reversed_tasks = list(reversed(tasks))
+        for speed in (0.9, 1.4):
+            assert chen_fp_feasible(tasks, speed) == chen_fp_feasible(
+                reversed_tasks, speed
+            )
+
+    def test_empty_and_invalid_speed(self):
+        assert han_zhao_feasible([], 1.0)
+        assert chen_fp_feasible([], 1.0)
+        with pytest.raises(ValueError):
+            chen_fp_feasible([Task(1, 2)], 0.0)
+
+    def test_known_verdicts(self):
+        # one job of each due at t=4: linearized demand at t=4 is
+        # 2 + (1 + 0.5*(4-2)) = 4 <= 4 — Han–Zhao accepts exactly
+        tasks = [Task(2, 10, deadline=4), Task(1, 2)]
+        assert han_zhao_feasible(tasks, 1.0)
+        # squeeze the long task's deadline to 3: exact demand in [0, 3]
+        # is 2 + 1 = 3, still feasible — but the k=1 linearization bills
+        # the short task 1 + 0.5*(3-2) = 1.5 there, so Han–Zhao rejects.
+        # A pinned pessimism witness: sufficient-only, not exact.
+        squeezed = [Task(2, 10, deadline=3), Task(1, 2)]
+        assert qpa_edf_feasible(squeezed, 1.0)
+        assert not han_zhao_feasible(squeezed, 1.0)
+
+
+class TestSpeedupConstants:
+    def test_published_values(self):
+        assert HAN_ZHAO_SPEEDUP == pytest.approx(2.5556, abs=1e-4)
+        assert CHEN_DM_SPEEDUP == pytest.approx(2.84306, abs=1e-5)
+
+    def test_ordering_matches_the_literature(self):
+        # the cruder FP baseline needs more speedup than the EDF one
+        assert HAN_ZHAO_SPEEDUP < CHEN_DM_SPEEDUP
+
+
+class TestRegistryAndPartition:
+    def test_registered_under_related_work_names(self):
+        assert isinstance(admission_test("han-zhao"), HanZhaoAdmissionTest)
+        assert isinstance(admission_test("chen-dm"), ChenFPAdmissionTest)
+        assert "han-zhao" in ADMISSION_TESTS and "chen-dm" in ADMISSION_TESTS
+
+    def _corpus(self, seed, size=24):
+        rng = np.random.default_rng(seed)
+        out = []
+        for k in range(size):
+            platform = geometric_platform(2 + k % 3, (2.0, 4.0)[k % 2])
+            out.append(
+                (
+                    generate_taskset(
+                        rng,
+                        4 + k % 8,
+                        (0.3 + 0.4 * (k % 5) / 4) * platform.total_speed,
+                        u_max=platform.fastest_speed,
+                        dr_dist="uniform",
+                        dr_min=0.5,
+                        dr_max=1.0,
+                    ),
+                    platform,
+                )
+            )
+        return out
+
+    @pytest.mark.parametrize(
+        "partition_fn, test",
+        [(han_zhao_partition, "han-zhao"), (chen_partition, "chen-dm")],
+    )
+    def test_partitions_verify_and_are_qpa_sound(self, partition_fn, test):
+        accepted = 0
+        for taskset, platform in self._corpus(11):
+            result = partition_fn(taskset, platform)
+            if not result.success:
+                continue
+            accepted += 1
+            assert verify_partition(result, taskset, platform, test)
+            # every baseline-accepted machine is exactly feasible too
+            for j, idxs in enumerate(result.machine_tasks):
+                machine = [taskset[i] for i in idxs]
+                assert qpa_edf_feasible(machine, platform[j].speed)
+        assert accepted, "corpus never exercised the acceptance path"
+
+    def test_baseline_accepts_subset_of_exact_first_fit(self):
+        # on this corpus the exact QPA partitioner accepts whenever the
+        # approximate baselines do (weaker admission, same machine order
+        # would be needed for a theorem; here we just require the exact
+        # test to cope with every baseline-accepted instance)
+        from repro.core.partition import first_fit_partition
+
+        for taskset, platform in self._corpus(29):
+            for fn in (han_zhao_partition, chen_partition):
+                if fn(taskset, platform).success:
+                    exact = first_fit_partition(
+                        taskset, platform, "edf-dbf", alpha=1.0
+                    )
+                    per_machine = exact.success and verify_partition(
+                        exact, taskset, platform, "edf-dbf"
+                    )
+                    assert per_machine, (fn.__name__, taskset)

@@ -8,6 +8,7 @@ import pytest
 from repro.core.lp import lp_feasible
 from repro.core.model import TaskSet
 from repro.workloads.builder import (
+    constrained_feasible_instance,
     generate_taskset,
     lp_feasible_instance,
     partitioned_feasible_instance,
@@ -58,6 +59,50 @@ class TestGenerateTaskset:
         ts = generate_taskset(rng, 10, 2.0, integer_periods=True, p_min=3, p_max=30)
         assert all(t.period == round(t.period) for t in ts)
 
+    def test_implicit_default_is_bit_compatible(self):
+        # dr_dist='implicit' must consume the same random stream as the
+        # pre-deadline-axis generator, or every pinned seed in the
+        # experiment archives silently drifts
+        a = generate_taskset(np.random.default_rng(77), 12, 3.0)
+        b = generate_taskset(
+            np.random.default_rng(77), 12, 3.0, dr_dist="implicit"
+        )
+        assert a == b
+        assert a.is_implicit
+
+    def test_deadline_axis_bounds_and_untouched_wcets(self, rng):
+        ts = generate_taskset(
+            rng, 40, 6.0, dr_dist="uniform", dr_min=0.3, dr_max=0.8
+        )
+        for t in ts:
+            assert 0.3 * t.period - 1e-9 <= t.deadline <= 0.8 * t.period + 1e-9
+        # the sweep isolates the deadline axis: utilizations still sum to
+        # the target exactly as in the implicit draw
+        assert ts.total_utilization == pytest.approx(6.0)
+
+    def test_deadline_axis_same_body_as_implicit_draw(self):
+        # same seed: wcets and periods identical, only deadlines differ
+        implicit = generate_taskset(np.random.default_rng(5), 8, 2.0)
+        constrained = generate_taskset(
+            np.random.default_rng(5), 8, 2.0, dr_dist="uniform"
+        )
+        for a, b in zip(implicit, constrained):
+            assert (a.wcet, a.period) == (b.wcet, b.period)
+        assert not constrained.is_implicit
+
+    def test_loguniform_deadline_axis(self, rng):
+        ts = generate_taskset(
+            rng, 30, 4.0, dr_dist="loguniform", dr_min=0.2, dr_max=1.0
+        )
+        assert all(t.deadline <= t.period + 1e-9 for t in ts)
+        assert any(t.deadline < t.period for t in ts)
+
+    def test_invalid_deadline_ratio_args(self, rng):
+        with pytest.raises(ValueError):
+            generate_taskset(rng, 5, 1.0, dr_dist="gaussian")  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            generate_taskset(rng, 5, 1.0, dr_dist="uniform", dr_min=0.0)
+
 
 class TestPartitionedFeasibleInstance:
     def test_witness_fits_capacities(self, rng):
@@ -100,6 +145,53 @@ class TestPartitionedFeasibleInstance:
             rng, platform, integer_periods=True, p_min=4, p_max=16
         )
         assert all(t.period == round(t.period) for t in inst.taskset)
+
+
+class TestConstrainedFeasibleInstance:
+    def test_density_certificate_holds(self, rng):
+        # per machine, total density sums to load * s_j — the generator's
+        # no-redraw feasibility certificate
+        platform = geometric_platform(3, 4.0)
+        inst = constrained_feasible_instance(
+            rng, platform, load=0.85, tasks_per_machine=4
+        )
+        densities = [0.0] * len(platform)
+        for i, j in enumerate(inst.witness):
+            t = inst.taskset[i]
+            densities[j] += t.wcet / t.deadline
+        for j, machine in enumerate(platform):
+            assert densities[j] == pytest.approx(0.85 * machine.speed)
+
+    def test_witness_machines_are_qpa_feasible_at_speed_one(self, rng):
+        from repro.core.dbf import qpa_edf_feasible
+
+        platform = geometric_platform(3, 4.0)
+        inst = constrained_feasible_instance(rng, platform, load=1.0)
+        for j, machine in enumerate(platform):
+            tasks = [
+                inst.taskset[i]
+                for i, owner in enumerate(inst.witness)
+                if owner == j
+            ]
+            assert qpa_edf_feasible(tasks, machine.speed)
+
+    def test_deadlines_constrained_within_ratio_band(self, rng):
+        platform = geometric_platform(2, 2.0)
+        inst = constrained_feasible_instance(
+            rng, platform, dr_min=0.4, dr_max=0.7, tasks_per_machine=6
+        )
+        for t in inst.taskset:
+            assert 0.4 * t.period - 1e-9 <= t.deadline <= 0.7 * t.period + 1e-9
+
+    def test_invalid_args(self, rng):
+        platform = geometric_platform(2, 2.0)
+        with pytest.raises(ValueError):
+            constrained_feasible_instance(rng, platform, load=0.0)
+        with pytest.raises(ValueError):
+            constrained_feasible_instance(rng, platform, tasks_per_machine=0)
+        with pytest.raises(ValueError):
+            # the density certificate needs d <= p
+            constrained_feasible_instance(rng, platform, dr_max=1.5)
 
 
 class TestLPFeasibleInstance:

@@ -158,6 +158,61 @@ class TestExactTests:
         assert verdict == (not trace.any_miss)
 
 
+class TestBoundaryRegressions:
+    """Pins for the scale-aware boundary discipline in ``dbf``.
+
+    The pre-fix code compared with *absolute* ``EPS`` (gate) and floored
+    ``(t - d)/p + EPS`` directly.  At large magnitudes the float error of
+    the division exceeds 1e-9 absolute, so exact step points ``t = d +
+    k*p`` could lose a whole job, and deadlines ~1e12 mis-gated inside
+    their relative tolerance window.  These instances are pinned at the
+    exact crossovers (cases found by search; any regression flips a
+    whole ``wcet``, not a rounding digit).
+    """
+
+    def test_exact_step_point_at_large_k(self):
+        # (t - d)/p computes to ~1.5e-8 *below* the integer k here: an
+        # absolute-EPS floor drops job k+1, the relative tol_floor keeps it.
+        p, d, k = 943.5758967723415, 78.6294028066052, 75_648_842
+        task = Task(wcet=50.0, period=p, deadline=d)
+        t = d + k * p
+        assert (t - d) / p < k  # the float hazard this test pins
+        assert dbf(task, t) == (k + 1) * 50.0
+
+    def test_more_step_points_at_large_k(self):
+        cases = [
+            (767.1809133850472, 341.74801562556036, 747_144_855),
+            (223.27346066864607, 6.95148700668352, 696_328_470),
+            (306.4559816712126, 23.51973702419199, 921_822_829),
+        ]
+        for p, d, k in cases:
+            task = Task(wcet=1.0, period=p, deadline=d)
+            t = d + k * p
+            assert dbf(task, t) == (k + 1) * 1.0, (p, d, k)
+
+    def test_gate_is_scale_aware_at_large_deadlines(self):
+        # deadline 1e12: the tolerance window is EPS-relative (~1000
+        # absolute), not 1e-9 absolute.  Inside the window the closed
+        # side (demand counted) wins; outside it the gate holds.
+        task = Task(wcet=1.0, period=2e12, deadline=1e12)
+        assert dbf(task, 1e12 - 500.0) == 1.0  # inside the window
+        assert dbf(task, 1e12 - 5000.0) == 0.0  # beyond it
+        assert dbf(task, 1e12) == 1.0
+
+    def test_qpa_agrees_with_reference_at_step_points(self):
+        # the same crossover arithmetic drives QPA's downward walk; the
+        # reference evaluator and QPA must agree on a set engineered so
+        # the critical point sits at a large-k step
+        tasks = [
+            Task(wcet=50.0, period=943.5758967723415, deadline=78.6294028066052),
+            Task(wcet=1.0, period=7.3, deadline=3.1),
+        ]
+        for speed in (0.15, 0.2, 0.25, 0.5):
+            assert qpa_edf_feasible(tasks, speed) == edf_demand_feasible(
+                tasks, speed
+            ), speed
+
+
 class TestDBFAdmission:
     def test_registered_by_name(self):
         assert isinstance(admission_test("edf-dbf"), EDFDemandBoundTest)

@@ -22,9 +22,10 @@ def run(eid):
 
 
 class TestRegistry:
-    def test_all_seventeen_registered(self):
+    def test_all_registered(self):
         ids = list(all_experiments())
-        assert ids == [f"e{k:02d}" for k in range(1, 18)]
+        # e18-e21 are benchmark artifacts, not registry experiments
+        assert ids == [f"e{k:02d}" for k in range(1, 18)] + ["e22", "e23"]
 
     def test_result_archiving_roundtrip(self, tmp_path):
         import json
@@ -198,6 +199,46 @@ class TestE17Breakdown:
         # everything breaks down somewhere in (0, 1]
         for row in res.rows:
             assert 0.0 < row["mean breakdown U/S"] <= 1.0 + 1e-9
+
+
+class TestE22AcceptDeadline:
+    def test_dominance_order_holds_pointwise(self):
+        # theorem order on every grid point: exact QPA >= k=4
+        # approximation >= Han-Zhao (k=1); Chen's FP test never beats the
+        # exact EDF partitioner either
+        res = run("e22")
+        assert len(res.rows) == 24  # 4 dr_min values x 6 U/S points
+        for row in res.rows:
+            assert row["FF-QPA"] >= row["approx(k=4)"] - 1e-9
+            assert row["approx(k=4)"] >= row["Han-Zhao"] - 1e-9
+            assert row["FF-QPA"] >= row["Chen-DM"] - 1e-9
+
+    def test_tighter_deadlines_never_help(self):
+        # acceptance at dr_min=1.0 (implicit) dominates dr_min=0.4 for
+        # the exact test at every utilization point
+        res = run("e22")
+        by_dr = {}
+        for row in res.rows:
+            by_dr.setdefault(row["dr_min"], {})[row["U/S"]] = row["FF-QPA"]
+        for us, rate in by_dr[1.0].items():
+            assert rate >= by_dr[0.4][us] - 1e-9
+
+
+class TestE23SpeedupDeadline:
+    def test_alphas_under_published_bounds(self):
+        res = run("e23")
+        assert len(res.rows) == 12  # 4 dr_min values x 3 testers
+        for row in res.rows:
+            assert row["max alpha"] <= row["bound"] + 1e-2
+            assert row["mean alpha"] <= row["max alpha"] + 1e-9
+
+    def test_exact_test_needs_no_speedup_on_certified_instances(self):
+        # the instances carry a density certificate at speed 1, so the
+        # exact QPA partitioner must accept them without augmentation
+        res = run("e23")
+        for row in res.rows:
+            if row["tester"] == "FF-QPA":
+                assert row["max alpha"] == pytest.approx(1.0)
 
 
 class TestE13Simulation:

@@ -264,6 +264,78 @@ class TestCanonicalDigest:
         assert all(len(triple) == 3 for triple in canon["tasks"])
 
 
+class TestConstrainedDigest:
+    """Deadline-axis coverage for the cache key (satellite of the
+    constrained-deadline family): a deadline-only edit must re-key, and
+    the invariances must survive non-trivial deadlines."""
+
+    TASKS = TaskSet(
+        [
+            Task(wcet=2.0, period=10.0, deadline=6.0),
+            Task(wcet=6.0, period=8.0, deadline=8.0),
+            Task(wcet=3.0, period=4.0, deadline=3.5),
+        ]
+    )
+    SPEEDS = [1.0, 2.0, 4.0]
+    #: pinned like TestCanonicalDigest.PINNED — a silent change to how
+    #: deadlines enter the canonical form would orphan cached verdicts
+    #: for every constrained instance
+    PINNED = "f73e304a0607845d96e270ddb8f0de205c3418ac427893d5c23bb6b90cf6585b"
+
+    def _platform(self):
+        return Platform.from_speeds(self.SPEEDS)
+
+    def test_pinned_constrained_digest(self):
+        assert instance_digest(self.TASKS, self._platform()) == self.PINNED
+
+    def test_deadline_only_change_rekeys(self):
+        # same wcet/period/speeds, one deadline nudged: these instances
+        # have different feasibility regions, so sharing a cache entry
+        # would serve a wrong verdict
+        for i in range(len(self.TASKS)):
+            tasks = list(self.TASKS)
+            t = tasks[i]
+            nudged = (
+                0.5 * (t.deadline + t.period)
+                if t.deadline < t.period
+                else t.deadline - 1.0
+            )
+            tasks[i] = Task(wcet=t.wcet, period=t.period, deadline=nudged)
+            mutated = instance_digest(TaskSet(tasks), self._platform())
+            assert mutated != self.PINNED, i
+
+    def test_permutation_invariant_with_deadlines(self):
+        import itertools
+
+        platform = self._platform()
+        digests = {
+            instance_digest(self.TASKS.subset(perm), platform)
+            for perm in itertools.permutations(range(len(self.TASKS)))
+        }
+        assert digests == {self.PINNED}
+
+    def test_explicit_implicit_deadline_is_digest_neutral(self):
+        # writing deadline = period explicitly is the same instance;
+        # exact float identity (10.0 vs 10.0), not a tolerance
+        implicit = TaskSet([Task(2.0, 10.0), Task(6.0, 8.0), Task(3.0, 4.0)])
+        explicit = TaskSet(
+            [
+                Task(2.0, 10.0, deadline=10.0),
+                Task(6.0, 8.0, deadline=8.0),
+                Task(3.0, 4.0, deadline=4.0),
+            ]
+        )
+        platform = self._platform()
+        assert instance_digest(implicit, platform) == instance_digest(
+            explicit, platform
+        )
+
+    def test_canonical_triples_carry_the_deadline(self):
+        canon = canonical_instance(self.TASKS, self._platform())
+        deadlines = sorted(triple[2] for triple in canon["tasks"])
+        assert deadlines == [3.5, 6.0, 8.0]
+
+
 class TestTables:
     ROWS = [
         {"name": "a", "value": 1.23456, "flag": True},

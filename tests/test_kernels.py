@@ -102,16 +102,26 @@ class TestBatchEquivalence:
     @pytest.mark.parametrize("profile", sorted(PROFILES))
     def test_generator_profiles(self, backend, profile):
         rng = np.random.default_rng(hash(profile) % 2**32)
-        instances = []
+        implicit, constrained = [], []
         for _ in range(40):
             ts, pf = draw_instance(rng, profile)
-            if ts.is_implicit:
-                instances.append((ts, pf))
-        assert instances, "profile produced no implicit-deadline instances"
+            (implicit if ts.is_implicit else constrained).append((ts, pf))
+        assert implicit or constrained
         for scheduler, adversary in CONFIGS:
-            want = _scalar_reports(instances, scheduler, adversary)
-            got = _batch_reports(instances, scheduler, adversary, backend)
+            want = _scalar_reports(implicit, scheduler, adversary)
+            got = _batch_reports(implicit, scheduler, adversary, backend)
             assert got == want
+        # constrained draws (the deadline-axis profiles) route through
+        # the dbf admission kernel instead of the theorem tests
+        if constrained:
+            want = [
+                first_fit_partition(ts, pf, "edf-dbf", alpha=1.0)
+                for ts, pf in constrained
+            ]
+            assert (
+                first_fit_batch(constrained, "edf-dbf", backend=backend)
+                == want
+            )
 
     @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
     def test_mixed_shapes_and_platforms_shard_correctly(self, backend):
@@ -189,6 +199,24 @@ class TestBatchEquivalence:
         with pytest.raises(ValueError, match="implicit deadlines"):
             feasibility_batch([(ts, pf)], "edf", backend=backend)
 
+    @pytest.mark.parametrize("backend", KERNEL_BACKENDS)
+    def test_constrained_rejection_is_up_front_and_text_identical(self, backend):
+        # the constrained instance sits *last*: the batch must still fail
+        # before producing any result (up-front validation, not a
+        # mid-shard crash), and with the scalar path's exact message
+        pf = geometric_platform(2, 2.0)
+        good = TaskSet([Task(wcet=1.0, period=10.0)])
+        bad = TaskSet([Task(wcet=1.0, period=10.0, deadline=5.0)])
+        try:
+            feasibility_test(bad, pf, "edf", "partitioned")
+        except ValueError as exc:
+            want = str(exc)
+        else:
+            pytest.fail("scalar path accepted a constrained instance")
+        with pytest.raises(ValueError) as exc_info:
+            feasibility_batch([(good, pf), (bad, pf)], "edf", backend=backend)
+        assert str(exc_info.value) == want
+
 
 class TestFirstFitBatch:
     @pytest.mark.parametrize("backend", ALL_BACKENDS)
@@ -205,10 +233,50 @@ class TestFirstFitBatch:
             )
             assert got == want
 
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_edf_dbf_matches_scalar_on_constrained_corpus(self, backend):
+        # the deadline-ratio axis end to end: constrained instances on
+        # mixed platforms, partitioned by exact QPA admission
+        rng = np.random.default_rng(23)
+        instances = []
+        for k in range(32):
+            platform = geometric_platform(2 + k % 3, (2.0, 4.0, 8.0)[k % 3])
+            instances.append(
+                (
+                    generate_taskset(
+                        rng,
+                        4 + k % 10,
+                        (0.4 + 0.5 * (k % 7) / 6) * platform.total_speed,
+                        u_max=platform.fastest_speed,
+                        dr_dist="uniform",
+                        dr_min=0.4,
+                        dr_max=1.0,
+                    ),
+                    platform,
+                )
+            )
+        assert any(not ts.is_implicit for ts, _ in instances)
+        for alpha in (1.0, 1.3):
+            want = [
+                first_fit_partition(ts, pf, "edf-dbf", alpha=alpha)
+                for ts, pf in instances
+            ]
+            got = first_fit_batch(
+                instances, "edf-dbf", alpha=alpha, backend=backend
+            )
+            assert got == want
+            # sharding must not leak state between instances: each
+            # singleton re-run reproduces its batch row exactly
+            for (ts, pf), batch_row in zip(instances[:6], want):
+                single = first_fit_batch(
+                    [(ts, pf)], "edf-dbf", alpha=alpha, backend=backend
+                )
+                assert single == [batch_row]
+
     def test_unsupported_admission_test_raises(self):
         pf = geometric_platform(2, 2.0)
         ts = TaskSet([Task(wcet=1.0, period=10.0)])
-        with pytest.raises(ValueError, match="O\\(1\\)-state"):
+        with pytest.raises(ValueError, match="'rms-rta'"):
             first_fit_batch([(ts, pf)], "rms-rta")
 
     def test_nonpositive_alpha_raises(self):

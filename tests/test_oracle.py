@@ -71,7 +71,20 @@ class TestGenerators:
                 assert len(taskset) >= 1
                 assert len(platform) >= 1
                 assert taskset.total_utilization > 0
-                assert taskset.is_implicit
+                if profile in ("constrained", "boundary-qpa"):
+                    # the constrained family stays in the d <= p model
+                    assert all(t.deadline <= t.period for t in taskset)
+                else:
+                    assert taskset.is_implicit
+
+    def test_constrained_profiles_exercise_the_deadline_axis(self, rng):
+        for profile in ("constrained", "boundary-qpa"):
+            seen_constrained = False
+            for _ in range(20):
+                taskset, _ = draw_instance(rng, profile)
+                if not taskset.is_implicit:
+                    seen_constrained = True
+            assert seen_constrained, profile
 
     def test_unknown_profile(self, rng):
         with pytest.raises(KeyError):

@@ -372,6 +372,94 @@ class TestErrors:
         assert any(e["field"] == "scheduler" for e in exc_info.value.fields)
 
 
+class TestConstrainedValidation:
+    """Deadline-axis validation (constrained-family satellites): the
+    tolerant implicit check snaps float-round-trip deadlines, and the
+    rejection body for constrained submissions is byte-identical no
+    matter which evaluation backend the server runs."""
+
+    def test_float_roundtrip_deadline_snaps_to_implicit(self, base_url):
+        # 0.1 + 0.2 != 0.3 exactly; a client that computed the period and
+        # serialized the deadline separately still submitted an implicit
+        # instance, so validation must snap (not reject, not crash later
+        # in a theorem test that requires Task.is_implicit)
+        period = 0.1 + 0.2
+        payload = {
+            "taskset": {
+                "tasks": [{"wcet": 0.1, "period": period, "deadline": 0.3}]
+            },
+            "platform": {"machines": [{"speed": 1.0}]},
+        }
+        status, body = _raw_post(
+            base_url, "/v1/test", json.dumps(payload).encode()
+        )
+        assert status == 200
+        direct = feasibility_test(
+            TaskSet([Task(wcet=0.1, period=period)]),
+            Platform.from_speeds([1.0]),
+        )
+        assert body["report"] == report_to_dict(direct)
+
+    def test_truly_constrained_deadline_still_rejected(self, base_url):
+        # the snap is a tolerance, not a loophole: a deadline well below
+        # the period keeps its field-level error
+        payload = {
+            "taskset": {
+                "tasks": [{"wcet": 0.1, "period": 0.3, "deadline": 0.15}]
+            },
+            "platform": {"machines": [{"speed": 1.0}]},
+        }
+        status, body = _raw_post(
+            base_url, "/v1/test", json.dumps(payload).encode()
+        )
+        assert status == 400
+        assert any(
+            e["field"] == "taskset.tasks[0].deadline"
+            for e in body["error"]["fields"]
+        )
+
+    def test_batch_rejection_is_backend_identical(self, base_url):
+        # a constrained instance inside /v1/batch must fail up front in
+        # validation with the same indexed field errors on every backend
+        # — never as a mid-batch ValueError from a kernel
+        payload = json.dumps(
+            {
+                "instances": [
+                    {
+                        "taskset": {"tasks": [{"wcet": 1, "period": 10}]},
+                        "platform": {"machines": [{"speed": 1.0}]},
+                    },
+                    {
+                        "taskset": {
+                            "tasks": [{"wcet": 1, "period": 10, "deadline": 4}]
+                        },
+                        "platform": {"machines": [{"speed": 1.0}]},
+                    },
+                ]
+            }
+        ).encode()
+        scalar_status, scalar_body = _raw_post(base_url, "/v1/batch", payload)
+        assert scalar_status == 400
+        fields = {e["field"] for e in scalar_body["error"]["fields"]}
+        assert "instances[1].taskset.tasks[0].deadline" in fields
+
+        for backend in ("kernel", "numpy"):
+            srv = make_server(port=0, jobs=1, cache_size=16, backend=backend)
+            thread = threading.Thread(target=srv.serve_forever, daemon=True)
+            thread.start()
+            try:
+                host, port = srv.server_address[:2]
+                status, body = _raw_post(
+                    f"http://{host}:{port}", "/v1/batch", payload
+                )
+            finally:
+                srv.shutdown()
+                thread.join(timeout=10)
+                srv.server_close()
+            assert status == scalar_status, backend
+            assert body == scalar_body, backend
+
+
 class TestMetrics:
     def test_json_snapshot_structure(self, client):
         client.health()  # ensure at least one observed request

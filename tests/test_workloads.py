@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 
 from repro.workloads.periods import (
     choice_periods,
+    deadline_ratios,
     harmonic_periods,
     log_uniform_periods,
 )
@@ -163,6 +164,37 @@ class TestPeriods:
             choice_periods(rng, 5, [])
         with pytest.raises(ValueError):
             choice_periods(rng, 5, [1.0, -2.0])
+
+
+class TestDeadlineRatios:
+    def test_uniform_range(self, rng):
+        r = deadline_ratios(rng, 500, dr_min=0.4, dr_max=0.9)
+        assert r.shape == (500,)
+        assert np.all((r >= 0.4) & (r <= 0.9))
+
+    def test_loguniform_range_and_bias(self, rng):
+        r = deadline_ratios(
+            rng, 4000, distribution="loguniform", dr_min=0.1, dr_max=1.0
+        )
+        assert np.all((r >= 0.1) & (r <= 1.0))
+        # equal mass per decade-fraction: the geometric midpoint splits
+        # the draws evenly, so well under half sit above the arithmetic
+        # midpoint 0.55 (a uniform draw would put half there)
+        assert np.mean(r > 0.55) < 0.45
+
+    def test_degenerate_interval_is_constant(self, rng):
+        r = deadline_ratios(rng, 10, dr_min=0.7, dr_max=0.7)
+        assert np.allclose(r, 0.7)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            deadline_ratios(rng, 0)
+        with pytest.raises(ValueError):
+            deadline_ratios(rng, 5, dr_min=0.0)
+        with pytest.raises(ValueError):
+            deadline_ratios(rng, 5, dr_min=0.9, dr_max=0.5)
+        with pytest.raises(ValueError):
+            deadline_ratios(rng, 5, distribution="gaussian")
 
 
 class TestPlatforms:
