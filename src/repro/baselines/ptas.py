@@ -118,8 +118,12 @@ def ptas_feasibility_test(
     nodes = 0
     machine_order = list(range(m - 1, -1, -1))  # fastest first
 
+    # the nonlocal `nodes` bump is a search-budget telemetry counter,
+    # not a cached value: the memo lives and dies inside one
+    # ptas_feasibility_test invocation, so no stale state can leak
+    # across calls
     @lru_cache(maxsize=None)
-    def pack(machine_pos: int, counts: tuple[int, ...]):
+    def pack(machine_pos: int, counts: tuple[int, ...]):  # repro: noqa[REP011]
         """Try to pack remaining ``counts`` into machines from
         ``machine_pos`` on; return per-machine count-vectors or None."""
         nonlocal nodes

@@ -14,14 +14,39 @@ ask:
   material (REP008), with an optimistic fixpoint (a self-recursive
   derivation chain is innocent until a taint or unknown appears);
 * which modules are reachable from a registry package's ``__init__``
-  over project-internal import edges (REP009).
+  over project-internal import edges (REP009);
+* what a function's **transitive effect set** is (REP011/REP012) — own
+  effects plus everything reachable over resolved call edges, computed
+  as a monotone set-once-per-tag fixpoint over the whole program; and
+* who calls ``module.function`` and from under which locks (REP010's
+  caller-chain lock proof, REP013's fan-out provenance).
 """
 
 from __future__ import annotations
 
-from .summaries import ModuleSummary, SeedProv
+from .summaries import CallSite, EffectSite, ModuleSummary, SeedProv
 
 __all__ = ["ProjectGraph"]
+
+
+#: effect tags that make a function unsafe to memoize (REP011);
+#: ``lock`` and ``memo-write`` are deliberately excluded — holding a
+#: lock or writing a cache is not value-impurity
+IMPURE_TAGS = frozenset(
+    {
+        "rng",
+        "wall-clock",
+        "io",
+        "blocking",
+        "process",
+        "mutates-global",
+        "mutates-param",
+        "mutates-nonlocal",
+    }
+)
+
+#: effect tags that stall an asyncio event loop (REP012)
+BLOCKING_TAGS = frozenset({"blocking", "process", "io", "lock"})
 
 
 class ProjectGraph:
@@ -55,6 +80,15 @@ class ProjectGraph:
         }
         self._float_memo: dict[tuple[str, str], bool] = {}
         self._seed_memo: dict[tuple[str, str], tuple[bool, str]] = {}
+        #: rounds the effect fixpoint took to converge (0 until computed;
+        #: surfaced by ``repro lint --stats``)
+        self.effect_iterations: int = 0
+        self._effect_memo: dict[
+            tuple[str, str], dict[str, tuple[str, tuple[str, ...]]]
+        ] | None = None
+        self._caller_index: dict[
+            tuple[str, str], list[tuple[tuple[str, str], CallSite]]
+        ] | None = None
 
     # -- symbol resolution ---------------------------------------------------
 
@@ -175,6 +209,111 @@ class ProjectGraph:
         if prov.unknown:
             return False, prov.unknown
         return False, "value has no seed provenance"
+
+    # -- transitive effects fixpoint (REP010-013) ----------------------------
+
+    def effects(
+        self, module: str, name: str
+    ) -> dict[str, tuple[str, tuple[str, ...]]]:
+        """Transitive effect set of ``module.name``.
+
+        Maps effect tag → ``(detail, chain)`` where ``chain`` is the
+        ``module.qualname`` hops from this function to the one that
+        exhibits the effect directly (empty for own effects).  Unknown
+        or unresolvable functions have no proven effects (empty dict) —
+        the rules stay silent rather than speculate.
+        """
+        if self._effect_memo is None:
+            self._effect_memo = self._compute_effects()
+        resolved = self.resolve(module, name)
+        if resolved is None:
+            return {}
+        return self._effect_memo.get(resolved, {})
+
+    def _compute_effects(
+        self,
+    ) -> dict[tuple[str, str], dict[str, tuple[str, tuple[str, ...]]]]:
+        """One whole-program pass: propagate effects over call edges.
+
+        Monotone and set-once per (function, tag), so the fixpoint
+        converges in at most ``longest acyclic call chain`` rounds; the
+        deterministic iteration order (sorted modules, definition order
+        within each) makes the recorded chains reproducible across
+        runs, jobs counts, and cache states.
+        """
+        facts: dict[
+            tuple[str, str], dict[str, tuple[str, tuple[str, ...]]]
+        ] = {}
+        order: list[tuple[tuple[str, str], tuple[CallSite, ...]]] = []
+        for module in sorted(self._functions):
+            for qualname, fn in self._functions[module].items():
+                key = (module, qualname)
+                own: dict[str, tuple[str, tuple[str, ...]]] = {}
+                for site in fn.effects:
+                    assert isinstance(site, EffectSite)
+                    own[site.tag] = (site.detail, ())
+                facts[key] = own
+                order.append((key, fn.calls))
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for key, calls in order:
+                own = facts[key]
+                for call in calls:
+                    target = self.resolve(call.module, call.name)
+                    if target is None or target == key:
+                        continue
+                    # a nested function's nonlocal mutation targets a
+                    # local of the function it is nested in: from the
+                    # enclosing function outward the effect is invisible
+                    # (the classic `nodes += 1` search-budget closure)
+                    nested_in_caller = target[0] == key[0] and target[
+                        1
+                    ].startswith(key[1] + ".")
+                    for tag, (detail, chain) in facts[target].items():
+                        if tag in own:
+                            continue
+                        if tag == "mutates-nonlocal" and nested_in_caller:
+                            continue
+                        own[tag] = (
+                            detail,
+                            (f"{target[0]}.{target[1]}",) + chain,
+                        )
+                        changed = True
+        self.effect_iterations = rounds
+        return facts
+
+    # -- caller index (REP010, REP013) ---------------------------------------
+
+    def callers_of(
+        self, module: str, name: str
+    ) -> list[tuple[tuple[str, str], CallSite]]:
+        """Every resolved call site targeting ``module.name``.
+
+        Returns ``((caller module, caller qualname), CallSite)`` pairs;
+        the site's ``under_lock`` says whether the call is lexically
+        inside a lock context in the caller.
+        """
+        if self._caller_index is None:
+            index: dict[
+                tuple[str, str], list[tuple[tuple[str, str], CallSite]]
+            ] = {}
+            for caller_module in sorted(self._functions):
+                for qualname, fn in self._functions[caller_module].items():
+                    for call in fn.calls:
+                        target = self.resolve(call.module, call.name)
+                        if target is None:
+                            continue
+                        index.setdefault(target, []).append(
+                            ((caller_module, qualname), call)
+                        )
+            self._caller_index = index
+        resolved = self.resolve(module, name)
+        if resolved is None:
+            return []
+        return self._caller_index.get(resolved, [])
 
     # -- registry reachability (REP009) --------------------------------------
 

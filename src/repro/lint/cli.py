@@ -119,7 +119,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--stats",
         action="store_true",
-        help="print phase-1 execution stats (files, cache hits, jobs)",
+        help=(
+            "print execution stats: phase-1 (files, cache hits, jobs) "
+            "and phase-2 (effect-fixpoint iterations, per-rule timing)"
+        ),
     )
     parser.add_argument(
         "--min-cache-hit-rate",
@@ -185,6 +188,14 @@ def run_lint(args: argparse.Namespace) -> int:
             f"stats: {s.files} file(s), {s.analyzed} analyzed, "
             f"{s.cache_hits} cache hit(s), {s.cache_invalidated} "
             f"invalidated by imports, jobs={s.jobs}"
+        )
+        timings = " ".join(
+            f"{rule}={secs * 1000:.1f}ms"
+            for rule, secs in sorted(s.rule_timings.items())
+        )
+        print(
+            f"phase2: {s.fixpoint_iterations} effect-fixpoint "
+            f"iteration(s){'; ' + timings if timings else ''}"
         )
     code = result.exit_code(fail_on_unused=args.show_unused_noqa)
     if args.min_cache_hit_rate is not None:

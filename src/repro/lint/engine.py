@@ -16,9 +16,10 @@ interchangeable without changing results:
 
 Phase 2 — whole program, always fresh: build the
 :class:`~repro.lint.callgraph.ProjectGraph` from every module summary
-and run the :class:`~repro.lint.registry.ProgramRule` set (REP007-009)
-over it.  Phase 2 is a pure function of the summaries, so caching
-phase 1 can never change interprocedural findings.
+and run the :class:`~repro.lint.registry.ProgramRule` set (REP007-013)
+over it.  Phase 2 is a pure function of the summaries — including the
+effect-inference fixpoint behind REP010-013 — so caching phase 1 can
+never change interprocedural findings.
 
 Suppression, baseline absorption, and sorting happen last, on the
 merged per-file + program findings.
@@ -72,6 +73,13 @@ class EngineStats:
     cache_invalidated: int = 0
     #: worker processes used for the analyzed files
     jobs: int = 1
+    #: rounds the phase-2 effect fixpoint took to converge (deterministic
+    #: for a given program, so safe to expose in machine-readable output)
+    fixpoint_iterations: int = 0
+    #: wall-clock seconds per program rule, keyed by rule id — timing
+    #: noise, so surfaced only by the CLI ``--stats`` line and kept out
+    #: of :meth:`as_dict` (JSON output stays bit-identical across runs)
+    rule_timings: dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -80,6 +88,7 @@ class EngineStats:
             "cache_hits": self.cache_hits,
             "cache_invalidated": self.cache_invalidated,
             "jobs": self.jobs,
+            "fixpoint_iterations": self.fixpoint_iterations,
         }
 
 
@@ -217,14 +226,20 @@ def _run_phase1(
 
 
 def _run_phase2(
-    analyses: Mapping[str, FileAnalysis], config: LintConfig
+    analyses: Mapping[str, FileAnalysis],
+    config: LintConfig,
+    stats: EngineStats | None = None,
 ) -> dict[str, list[Finding]]:
     """Program-rule findings grouped by path.
 
     Always computed fresh: the project graph is rebuilt from the (new or
     cached) summaries every run, so interprocedural verdicts can never
-    go stale even when every file was a cache hit.
+    go stale even when every file was a cache hit.  When ``stats`` is
+    given, per-rule wall time and the effect fixpoint's iteration count
+    are recorded on it for the ``--stats`` report.
     """
+    from time import perf_counter
+
     summaries = [a.summary for a in analyses.values() if a.summary is not None]
     graph = ProjectGraph(summaries, config.registry_map())
     rules = resolve_selection(config.select, config.ignore).values()
@@ -232,6 +247,7 @@ def _run_phase2(
     for rule in rules:
         if not isinstance(rule, ProgramRule):
             continue
+        started = perf_counter()
         for finding in rule.check_program(graph):
             if finding.path not in analyses:
                 continue
@@ -240,6 +256,10 @@ def _run_phase2(
             ):
                 continue
             by_path.setdefault(finding.path, []).append(finding)
+        if stats is not None:
+            stats.rule_timings[rule.id] = perf_counter() - started
+    if stats is not None:
+        stats.fixpoint_iterations = graph.effect_iterations
     return by_path
 
 
@@ -421,7 +441,7 @@ def lint_paths(
     resolve_selection(config.select, config.ignore)  # typo'd ids fail loudly
     sources, read_errors = _gather_sources(paths, config)
     analyses, stats = _analyze_with_cache(sources, config)
-    program = _run_phase2(analyses, config)
+    program = _run_phase2(analyses, config, stats)
     return _merge_result(analyses, program, config, stats, read_errors)
 
 
@@ -445,7 +465,7 @@ def lint_changed(
     resolve_selection(config.select, config.ignore)
     sources, read_errors = _gather_sources(search_paths, config)
     analyses, stats = _analyze_with_cache(sources, config)
-    program = _run_phase2(analyses, config)
+    program = _run_phase2(analyses, config, stats)
     result = _merge_result(analyses, program, config, stats, read_errors)
 
     changed_rel = {

@@ -12,6 +12,10 @@ from . import (  # noqa: F401 - registration side effects
     rep007_tolerance_escape,
     rep008_seed_provenance,
     rep009_orphaned_registration,
+    rep010_caller_lock_discipline,
+    rep011_impure_memo,
+    rep012_async_blocking,
+    rep013_process_capture,
 )
 
 __all__ = [
@@ -24,4 +28,8 @@ __all__ = [
     "rep007_tolerance_escape",
     "rep008_seed_provenance",
     "rep009_orphaned_registration",
+    "rep010_caller_lock_discipline",
+    "rep011_impure_memo",
+    "rep012_async_blocking",
+    "rep013_process_capture",
 ]

@@ -17,9 +17,17 @@ Flagged, inside any class in ``repro/service/``, outside ``__init__``:
   ``self._x``
 
 that are not lexically inside a ``with`` statement whose context
-expression mentions a lock attribute (any name containing ``lock``).
-``self._lock`` itself and ``__init__``/``__new__`` construction are
-exempt.
+expression mentions a lock attribute (any name containing ``lock``) or
+calls a recognized **lock helper** — a ``contextlib.contextmanager``
+method/function whose body enters a lock (``with self._guard():``
+where ``_guard`` wraps ``with self._lock:``).  ``self._lock`` itself
+and ``__init__``/``__new__`` construction are exempt.
+
+Scope split with REP010: this rule judges **public** methods, which a
+request thread calls directly — the mutation must be lexically under
+the lock.  Mutations in *private* methods (``_name``) are REP010's
+jurisdiction: phase 2 proves (or refutes) that every caller chain
+reaching the private method already holds the lock.
 """
 
 from __future__ import annotations
@@ -29,64 +37,35 @@ from typing import Iterator
 
 from ..findings import Finding
 from ..registry import FileContext, Rule, register
-
-__all__ = ["UnlockedServiceMutation"]
-
-_MUTATORS = frozenset(
-    {
-        "append",
-        "extend",
-        "insert",
-        "add",
-        "discard",
-        "remove",
-        "pop",
-        "popitem",
-        "clear",
-        "update",
-        "setdefault",
-        "move_to_end",
-        "sort",
-        "reverse",
-        "observe",
-    }
+from ..summaries import (
+    MUTATOR_METHODS as _MUTATORS,
+    lock_helper_names,
+    self_private_attr as _self_private_attr,
+    with_item_locked,
 )
+
+__all__ = [
+    "UnlockedServiceMutation",
+    "lock_helper_names",
+    "with_item_locked",
+]
 
 _EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
 
 
-def _self_private_attr(node: ast.expr) -> str | None:
-    """``self._x`` (possibly behind a subscript) → ``_x``."""
-    if isinstance(node, ast.Subscript):
-        node = node.value
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-        and node.attr.startswith("_")
-    ):
-        return node.attr
-    return None
-
-
-def _mentions_lock(node: ast.expr) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
-            return True
-        if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
-            return True
-    return False
-
-
-def _context(ctx: FileContext, node: ast.AST) -> tuple[bool, bool, bool]:
-    """(in_class_method, in_exempt_method, under_lock) for ``node``."""
+def _context(
+    ctx: FileContext, node: ast.AST, helpers: frozenset[str]
+) -> tuple[bool, bool, bool, str]:
+    """(in_class_method, exempt, under_lock, method_name) for ``node``."""
     in_method = False
     exempt = False
     under_lock = False
+    method_name = ""
     seen_function = False
     for parent in ctx.parents(node):
         if isinstance(parent, ast.With) and any(
-            _mentions_lock(item.context_expr) for item in parent.items
+            with_item_locked(item.context_expr, helpers)
+            for item in parent.items
         ):
             under_lock = True
         if (
@@ -94,12 +73,18 @@ def _context(ctx: FileContext, node: ast.AST) -> tuple[bool, bool, bool]:
             and not seen_function
         ):
             seen_function = True
+            method_name = parent.name
             if parent.name in _EXEMPT_METHODS:
                 exempt = True
             grand = getattr(parent, "_repro_parent", None)
             if isinstance(grand, ast.ClassDef):
                 in_method = True
-    return in_method, exempt, under_lock
+    return in_method, exempt, under_lock, method_name
+
+
+def _is_private(method_name: str) -> bool:
+    """Private (REP010 jurisdiction): ``_name`` but not dunder."""
+    return method_name.startswith("_") and not method_name.startswith("__")
 
 
 @register
@@ -120,6 +105,7 @@ class UnlockedServiceMutation(Rule):
     default_paths = ("repro/service/",)
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        helpers = lock_helper_names(ctx.tree)
         for node in ast.walk(ctx.tree):
             attr: str | None = None
             kind = ""
@@ -141,9 +127,11 @@ class UnlockedServiceMutation(Rule):
                 kind = f"`.{node.func.attr}(...)` on"
             if attr is None or "lock" in attr.lower():
                 continue
-            in_method, exempt, under_lock = _context(ctx, node)
+            in_method, exempt, under_lock, method = _context(ctx, node, helpers)
             if not in_method or exempt or under_lock:
                 continue
+            if _is_private(method):
+                continue  # REP010 proves (or refutes) the caller chain
             yield ctx.finding(
                 self,
                 node,

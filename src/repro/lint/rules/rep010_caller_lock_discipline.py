@@ -1,0 +1,143 @@
+"""REP010 — service state mutated without a lock-holding caller chain.
+
+REP006 judges *public* service methods lexically: the mutation must sit
+inside ``with self._lock:``.  Private helpers (``_evict``, ``_insert``)
+legitimately mutate without taking the lock themselves — the documented
+contract is "caller holds the lock" — which REP006 cannot check and so
+skips entirely.  This rule closes that gap interprocedurally: a
+mutation in a private method (or in an unlocked module-level function
+mutating a module global) is safe only if **every** resolved caller
+chain provably holds the lock at the call site, either lexically
+(``with self._lock: self._evict()``) or because the caller itself is
+proven locked-only.
+
+The proof is pessimistic in every direction a race could hide:
+
+* a function with **no** resolved callers is unproven — nothing
+  establishes who calls it under what discipline (dead code included:
+  a future caller inherits the obligation);
+* a call cycle with no locked entry is unproven;
+* an unresolvable call site elsewhere never *adds* safety, it just
+  doesn't count as a caller.
+
+Suppress per-site with ``# repro: noqa[REP010]`` where the state is
+confined to one thread by construction (e.g. a serial worker process).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["CallerLockDiscipline"]
+
+_EXEMPT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+
+def _is_private_method(qualname: str) -> bool:
+    """``Class._name`` — private, non-dunder, actually a method."""
+    if "." not in qualname:
+        return False
+    name = qualname.rsplit(".", 1)[1]
+    return (
+        name.startswith("_")
+        and not name.startswith("__")
+        and name not in _EXEMPT_METHODS
+    )
+
+
+def _locked_only(
+    program: "ProjectGraph",
+    key: tuple[str, str],
+    stack: tuple[tuple[str, str], ...],
+    memo: dict[tuple[str, str], bool],
+) -> bool:
+    """Is every caller chain reaching ``key`` proven to hold a lock?"""
+    if key in memo:
+        return memo[key]
+    if key in stack:
+        return False  # cycle with no locked entry above it
+    callers = program.callers_of(*key)
+    if not callers:
+        memo[key] = False
+        return False
+    for caller_key, site in callers:
+        if site.under_lock:
+            continue
+        # the call site itself is unlocked: safe only if the caller's
+        # whole body provably runs under a lock its own callers hold
+        if not _locked_only(program, caller_key, stack + (key,), memo):
+            memo[key] = False
+            return False
+    memo[key] = True
+    return True
+
+
+@register
+class CallerLockDiscipline(ProgramRule):
+    id = "REP010"
+    name = "caller-lock-discipline"
+    summary = (
+        "shared service state mutated without a proven lock-holding "
+        "caller chain"
+    )
+    rationale = (
+        "Private service methods mutate self._* state under a 'caller "
+        "holds the lock' contract that no lexical check can enforce.  "
+        "If even one caller chain reaches the mutation without the "
+        "lock, two request threads can interleave mid-update and "
+        "corrupt the cache or metrics — a race the test suite will "
+        "essentially never reproduce.  The whole-program call graph "
+        "proves (or refutes) the contract for every chain."
+    )
+    default_paths = ("repro/service/",)
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        memo: dict[tuple[str, str], bool] = {}
+        for summary in program.modules.values():
+            for fn in summary.functions:
+                key = (summary.module, fn.qualname)
+                if fn.is_method and _is_private_method(fn.qualname):
+                    sites = [
+                        m
+                        for m in fn.mutations
+                        if m.kind == "attr" and not m.under_lock
+                    ]
+                    what = f"`self.{{target}}` in private method `{fn.qualname}`"
+                elif "." not in fn.qualname:
+                    sites = [
+                        m
+                        for m in fn.mutations
+                        if m.kind == "global" and not m.under_lock
+                    ]
+                    what = (
+                        f"module global `{{target}}` in `{fn.qualname}`"
+                    )
+                else:
+                    continue
+                if not sites:
+                    continue
+                if _locked_only(program, key, (), memo):
+                    continue
+                for site in sites:
+                    yield Finding(
+                        path=summary.path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.id,
+                        message=(
+                            f"{site.detail} "
+                            + what.format(target=site.target)
+                            + " mutated without a proven lock-holding "
+                            "caller chain; every resolved caller must "
+                            "wrap the call in `with self._lock:` (or "
+                            "the lock must be taken here)"
+                        ),
+                        snippet=site.snippet,
+                        end_line=site.end_line,
+                    )

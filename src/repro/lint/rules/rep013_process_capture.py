@@ -1,0 +1,152 @@
+"""REP013 — mutable or unpicklable state captured across a process fork.
+
+The campaign runner (``repro.runner.executor.run_trials``) and the
+sharded service protocol (``repro.service.protocol`` pickle frames) are
+the two process boundaries in the system.  Both give each worker a
+*copy* of whatever crosses; the bit-identity story depends on nothing
+mutable leaking through:
+
+* a trial function that mutates a module global "works" serially and at
+  ``--jobs 1``, then silently diverges at ``--jobs N`` — each worker
+  mutates its private copy and the parent sees none of it (or worse,
+  sees a fork-inherited half);
+* a ``threading.Lock``/socket/open handle reaching ``pickle`` either
+  raises at the worst time or, fork-inherited, "succeeds" as a
+  duplicate that guards nothing.
+
+Phase 1 records **capture sites** — ``run_trials(fn, ...)`` calls with
+the trial callable resolved, and pickle-frame constructions — plus each
+module's **carrier globals** (locks, sockets, handles, by initializer).
+This rule flags a fan-out whose resolved trial function transitively
+mutates global/nonlocal state (memo-writes excluded: per-process caches
+are a deliberate, verdict-neutral pattern), and any capture whose
+argument expressions reference a carrier global.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["CrossProcessMutableCapture"]
+
+#: transitive effects that diverge under fork fan-out; per-process
+#: memo caches (``memo-write``) are deliberately allowed
+_DIVERGENT_TAGS = frozenset({"mutates-global", "mutates-nonlocal"})
+
+
+@register
+class CrossProcessMutableCapture(ProgramRule):
+    id = "REP013"
+    name = "cross-process-mutable-capture"
+    summary = (
+        "mutable global state or lock/socket/handle carrier crosses a "
+        "process boundary"
+    )
+    rationale = (
+        "Workers get copies: a fanned-out trial that mutates a module "
+        "global diverges silently between --jobs values, and a pickled "
+        "lock or handle either raises mid-campaign or duplicates into "
+        "a guard that guards nothing.  Both break the bit-identity "
+        "contract in ways only visible under specific parallelism."
+    )
+    default_paths = ()  # everywhere outside tests
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        carriers: dict[tuple[str, str], str] = {}
+        for summary in program.modules.values():
+            for name, detail in summary.global_carriers:
+                carriers[(summary.module, name)] = detail
+
+        for summary in program.modules.values():
+            for site in summary.capture_sites:
+                if site.kind == "fanout" and site.fn_ref is not None:
+                    target = program.resolve(*site.fn_ref)
+                    if target is not None:
+                        effects = program.effects(*target)
+                        tags = sorted(set(effects) & _DIVERGENT_TAGS)
+                        if tags:
+                            detail, chain = effects[tags[0]]
+                            hops = " -> ".join(
+                                f"`{hop}`"
+                                for hop in (
+                                    f"{target[0]}.{target[1]}",
+                                )
+                                + chain
+                            )
+                            yield Finding(
+                                path=summary.path,
+                                line=site.line,
+                                col=site.col,
+                                rule=self.id,
+                                message=(
+                                    f"trial function {hops} mutates "
+                                    f"shared state ({detail}) and is "
+                                    "fanned out across processes; each "
+                                    "worker mutates a private copy, so "
+                                    "results diverge between --jobs "
+                                    "values — return the data instead "
+                                    "and reduce in the parent"
+                                ),
+                                snippet=site.snippet,
+                                end_line=site.end_line,
+                            )
+                for cand in site.carrier_candidates:
+                    resolved = self._carrier(program, carriers, cand)
+                    if resolved is None:
+                        continue
+                    (mod, name), detail = resolved
+                    boundary = (
+                        "the process-pool fan-out"
+                        if site.kind == "fanout"
+                        else "a pickle frame"
+                    )
+                    yield Finding(
+                        path=summary.path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.id,
+                        message=(
+                            f"`{mod}.{name}` (a {detail} carrier) "
+                            f"flows into {boundary}; locks, sockets, "
+                            "and open handles must never cross a "
+                            "process boundary — pass plain data and "
+                            "reconstruct resources in the worker"
+                        ),
+                        snippet=site.snippet,
+                        end_line=site.end_line,
+                    )
+
+    @staticmethod
+    def _carrier(
+        program: "ProjectGraph",
+        carriers: dict[tuple[str, str], str],
+        cand: tuple[str, str],
+    ) -> tuple[tuple[str, str], str] | None:
+        """Resolve a candidate name to a known carrier global, if any."""
+        if cand in carriers:
+            return cand, carriers[cand]
+        # symbol-import candidates may re-export through a package
+        module, name = cand
+        seen: set[tuple[str, str]] = set()
+        while (module, name) not in seen:
+            seen.add((module, name))
+            summary = program.modules.get(module)
+            if summary is None:
+                return None
+            if (module, name) in carriers:
+                return (module, name), carriers[(module, name)]
+            origin = None
+            for local, mod, orig in summary.symbol_imports:
+                if local == name:
+                    origin = (mod, orig)
+                    break
+            if origin is None:
+                return None
+            module, name = origin
+        return None

@@ -8,7 +8,7 @@ default scope.  If the rule reports anything other than exactly that
 stops firing is worse than no linter.
 
 The per-file rules (REP001-006) are planted as single modules run
-through :func:`lint_source`.  The interprocedural rules (REP007+) are
+through :func:`lint_source`.  The interprocedural rules (REP007-013) are
 planted as *programs* — each violation is split across two or more
 modules so that detecting it requires the call graph, and run through
 :func:`lint_sources`.  A registered rule with neither kind of planted
@@ -234,6 +234,156 @@ PLANTED_PROGRAMS: tuple[PlantedProgram, ...] = (
         path="src/repro/plugins/p02_beta.py",
         line=1,
         registries=(("repro.plugins", "p*"),),
+    ),
+    # REP010: the defining module alone is safe — its only caller wraps
+    # the call in `with _LOCK:` — so the finding only appears because a
+    # *second* module calls the mutator unlocked.  Detecting it
+    # genuinely requires the cross-module caller index.
+    PlantedProgram(
+        rule="REP010",
+        files=(
+            (
+                "src/repro/service/planted_state.py",
+                textwrap.dedent(
+                    """\
+                    import threading
+
+                    _LOCK = threading.Lock()
+                    _STATE = {}
+
+
+                    def bump(key):
+                        _STATE[key] = _STATE.get(key, 0) + 1
+
+
+                    def locked_bump(key):
+                        with _LOCK:
+                            bump(key)
+                    """
+                ),
+            ),
+            (
+                "src/repro/service/planted_rep010.py",
+                textwrap.dedent(
+                    """\
+                    from repro.service.planted_state import bump
+
+
+                    def handle(key):
+                        bump(key)
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/service/planted_state.py",
+        line=8,
+    ),
+    # REP011: the impurity (a module-global append) lives one module
+    # away from the `@lru_cache` that freezes it.
+    PlantedProgram(
+        rule="REP011",
+        files=(
+            (
+                "src/repro/core/planted_effects.py",
+                textwrap.dedent(
+                    """\
+                    _TALLY = []
+
+
+                    def record(value):
+                        _TALLY.append(value)
+                        return value
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/planted_rep011.py",
+                textwrap.dedent(
+                    """\
+                    from functools import lru_cache
+
+                    from repro.core.planted_effects import record
+
+
+                    @lru_cache(maxsize=None)
+                    def cached_record(value):
+                        return record(value)
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/core/planted_rep011.py",
+        line=7,
+    ),
+    # REP012: the blocking primitive (`time.sleep`) hides inside a sync
+    # helper in another module; only the transitive effect set reveals
+    # that awaiting nothing, the coroutine stalls the whole event loop.
+    PlantedProgram(
+        rule="REP012",
+        files=(
+            (
+                "src/repro/service/planted_pause.py",
+                textwrap.dedent(
+                    """\
+                    import time
+
+
+                    def pause():
+                        time.sleep(0.01)
+                    """
+                ),
+            ),
+            (
+                "src/repro/service/planted_rep012.py",
+                textwrap.dedent(
+                    """\
+                    from repro.service.planted_pause import pause
+
+
+                    async def poll():
+                        pause()
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/service/planted_rep012.py",
+        line=5,
+    ),
+    # REP013: the fanned-out trial function mutates a module global in
+    # its home module — each pool worker would mutate a private copy,
+    # so results diverge between --jobs values.
+    PlantedProgram(
+        rule="REP013",
+        files=(
+            (
+                "src/repro/analysis/planted_trial.py",
+                textwrap.dedent(
+                    """\
+                    _TALLY = []
+
+
+                    def trial(point):
+                        _TALLY.append(point)
+                        return point
+                    """
+                ),
+            ),
+            (
+                "src/repro/analysis/planted_rep013.py",
+                textwrap.dedent(
+                    """\
+                    from repro.analysis.planted_trial import trial
+                    from repro.runner.executor import run_trials
+
+
+                    def campaign(points):
+                        return run_trials(trial, points)
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/analysis/planted_rep013.py",
+        line=6,
     ),
 )
 

@@ -6,8 +6,10 @@ imports, which functions it defines and what they return
 ("produces-float", "derives-from-trial-seed", "holds-lock"), plus the
 *pending sites* the interprocedural rules will judge once every summary
 is available — bare comparisons whose operand is a call into another
-module (REP007) and RNG constructions whose seed argument's provenance
-crosses function boundaries (REP008).
+module (REP007), RNG constructions whose seed argument's provenance
+crosses function boundaries (REP008), per-function **effect sets** with
+call/mutation sites (REP010-012), and capture sites where callables or
+globals cross a process boundary (REP013).
 
 Everything here is deliberately AST-free and content-addressable: the
 summaries travel through the process pool, live in the incremental
@@ -30,8 +32,17 @@ __all__ = [
     "FunctionSummary",
     "ComparisonSite",
     "RNGSite",
+    "EffectSite",
+    "CallSite",
+    "MutationSite",
+    "CaptureSite",
     "ModuleSummary",
+    "MUTATOR_METHODS",
+    "lock_helper_names",
+    "mentions_lock",
     "module_name_for_path",
+    "self_private_attr",
+    "with_item_locked",
     "build_module_summary",
 ]
 
@@ -60,6 +71,155 @@ _DERIVING_METHODS = frozenset({"generate_state", "spawn", "integers"})
 RNG_CONSTRUCTORS = frozenset({"default_rng", "Generator", "PCG64", "SeedSequence"})
 
 _FLAGGED_CMP_OPS = {ast.LtE: "<=", ast.GtE: ">=", ast.Eq: "=="}
+
+#: module-global names that denote a memo/cache/scratch structure —
+#: writes to them are bookkeeping (``memo-write``), not impurity, as
+#: long as nothing *else* impure feeds the cached value
+_MEMO_NAME_RE = re.compile(
+    r"cache|memo|profil|scratch|buf|digest|hits|miss|evict|pool|seen", re.I
+)
+
+#: mutating container methods (shared with REP006/REP010)
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "discard",
+        "remove",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "move_to_end",
+        "sort",
+        "reverse",
+        "observe",
+    }
+)
+
+#: ``time`` module functions that read a clock (effect ``wall-clock``)
+_WALL_CLOCK_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "ctime",
+        "localtime",
+        "gmtime",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+    }
+)
+
+#: Path/file methods that do IO when called on any receiver
+_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes", "open"}
+)
+
+#: blocking socket operations (matched when the receiver looks like a
+#: socket/connection)
+_BLOCKING_SOCKET_METHODS = frozenset(
+    {"recv", "recv_into", "sendall", "accept", "connect"}
+)
+
+#: blocking waits on a child process
+_PROC_WAIT_METHODS = frozenset({"wait", "communicate"})
+
+#: subprocess entry points (effect ``process``, which is also blocking)
+_SUBPROCESS_FNS = frozenset({"run", "call", "check_call", "check_output", "Popen"})
+
+#: process fan-out entry points (REP013 capture sites)
+_FANOUT_FUNCTIONS = frozenset({"run_trials"})
+
+#: pickle-frame entry points in :mod:`repro.service.protocol`
+_PICKLE_FRAME_FUNCTIONS = frozenset({"frame_bytes", "send_frame"})
+
+#: ``threading`` factories whose product must never cross a process
+_LOCK_FACTORY_ATTRS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event", "Barrier"}
+)
+
+
+# ---------------------------------------------------------------------------
+# lock recognition (shared with REP006/REP010)
+# ---------------------------------------------------------------------------
+
+
+def mentions_lock(node: ast.expr) -> bool:
+    """Does the expression reference a lock-looking name/attribute?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and "lock" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.Name) and "lock" in sub.id.lower():
+            return True
+    return False
+
+
+def _is_contextmanager_decorator(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "contextmanager"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "contextmanager"
+    return False
+
+
+def lock_helper_names(tree: ast.AST) -> frozenset[str]:
+    """Names of ``@contextmanager`` functions whose body enters a lock.
+
+    ``with self._guard():`` where ``_guard`` is such a helper counts as
+    holding the lock — REP006's historical blind spot, closed lexically
+    for the helper-in-the-same-file case (REP010 handles the rest
+    interprocedurally).
+    """
+    helpers: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(
+            _is_contextmanager_decorator(d) for d in node.decorator_list
+        ):
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.With, ast.AsyncWith)) and any(
+                mentions_lock(item.context_expr) for item in sub.items
+            ):
+                helpers.add(node.name)
+                break
+    return frozenset(helpers)
+
+
+def with_item_locked(expr: ast.expr, helpers: frozenset[str]) -> bool:
+    """Does one ``with`` item enter a lock (directly or via a helper)?"""
+    if mentions_lock(expr):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = ""
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        return name in helpers
+    return False
+
+
+def self_private_attr(node: ast.expr) -> str | None:
+    """``self._x`` (possibly behind a subscript) → ``_x``."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith("_")
+    ):
+        return node.attr
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -103,10 +263,75 @@ def combine_provs(provs: list[SeedProv]) -> SeedProv:
 
 
 @dataclass(frozen=True)
+class EffectSite:
+    """One observed side effect inside a function body.
+
+    ``tag`` is a point in the effect lattice: ``rng``, ``wall-clock``,
+    ``io``, ``blocking``, ``process``, ``lock``, ``mutates-global``,
+    ``mutates-param``, ``mutates-nonlocal``, ``memo-write``.  One site
+    per tag per function (the first occurrence anchors the finding).
+    """
+
+    tag: str
+    detail: str
+    line: int
+    col: int = 0
+    end_line: int = 0
+    snippet: str = ""
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A statically resolved call inside a function body."""
+
+    module: str
+    name: str
+    line: int
+    col: int
+    snippet: str = ""
+    #: lexically inside a ``with <lock>`` (or lock-helper) block
+    under_lock: bool = False
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """A mutation of shared state: ``self._*`` attr or module global."""
+
+    target: str
+    #: ``attr`` (``self._x``) or ``global`` (module-level name)
+    kind: str
+    detail: str
+    line: int
+    col: int
+    end_line: int = 0
+    snippet: str = ""
+    under_lock: bool = False
+
+
+@dataclass(frozen=True)
+class CaptureSite:
+    """A callable/value crossing a process boundary (REP013 input)."""
+
+    #: ``fanout`` (runner pool) or ``pickle`` (protocol frame)
+    kind: str
+    line: int
+    col: int
+    end_line: int = 0
+    snippet: str = ""
+    #: resolved ``(module, qualname)`` of the fanned-out trial function
+    fn_ref: tuple[str, str] | None = None
+    #: ``lambda`` when the trial callable cannot be summarized
+    local_callable: str = ""
+    #: ``(module, global name)`` candidates checked against carriers
+    carrier_candidates: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
 class FunctionSummary:
     """Interprocedural facts about one function or method."""
 
-    #: ``name`` for module functions, ``Class.name`` for methods
+    #: ``name`` for module functions, ``Class.name`` for methods,
+    #: dotted (``outer.inner``) for nested functions
     qualname: str
     #: a return path produces a float (directly inferred or annotated)
     returns_float: bool = False
@@ -115,9 +340,25 @@ class FunctionSummary:
     #: provenance of each ``return <expr>`` (all must be seed-derived
     #: for the function to count as a seed deriver)
     return_seed_provs: tuple[SeedProv, ...] = ()
-    #: body contains a ``with <...lock...>:`` block (future
-    #: lock-discipline summaries for service/ lean on this)
+    #: body contains a ``with <...lock...>:`` block (REP010 leans on
+    #: this when proving caller-chain lock discipline)
     holds_lock: bool = False
+    #: ``async def`` (including async generators) — REP012 scope
+    is_async: bool = False
+    #: defined directly inside a ``class`` body
+    is_method: bool = False
+    #: 1-based ``def`` line (REP011 findings anchor here)
+    line: int = 0
+    #: stripped ``def`` line (fingerprint input)
+    snippet: str = ""
+    #: memoizing decorator (``functools.lru_cache``/``cache``), or ""
+    memoized: str = ""
+    #: own (non-transitive) effect sites, one per tag, tag-sorted
+    effects: tuple[EffectSite, ...] = ()
+    #: statically resolved calls (the effect fixpoint's edges)
+    calls: tuple[CallSite, ...] = ()
+    #: shared-state mutation sites (REP010 input)
+    mutations: tuple[MutationSite, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -165,6 +406,11 @@ class ModuleSummary:
     functions: tuple[FunctionSummary, ...] = ()
     comparisons: tuple[ComparisonSite, ...] = ()
     rng_sites: tuple[RNGSite, ...] = ()
+    #: module globals holding locks/sockets/open handles:
+    #: ``(name, factory detail)`` — must never cross a process boundary
+    global_carriers: tuple[tuple[str, str], ...] = ()
+    #: fan-out / pickle-frame sites found anywhere in the module
+    capture_sites: tuple[CaptureSite, ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -415,6 +661,540 @@ def _rng_constructor(ctx: FileContext, func: ast.expr) -> str | None:
     return None
 
 
+def _collect_names(target: ast.expr, into: set[str]) -> None:
+    """Bare names bound by an assignment/loop target, recursively."""
+    if isinstance(target, ast.Name):
+        into.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _collect_names(elt, into)
+    elif isinstance(target, ast.Starred):
+        _collect_names(target.value, into)
+
+
+class _EffectWalker:
+    """Extract effects, calls, mutations, and captures from one function.
+
+    A recursive statement walker carrying an ``under_lock`` flag that
+    flips inside ``with <lock>:`` (or lock-helper) blocks; nested
+    ``def``/``class``/``lambda`` bodies are skipped — nested functions
+    get their own summaries, and lambdas stay opaque by design.
+    """
+
+    def __init__(
+        self,
+        builder: "_SummaryBuilder",
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        qualname: str,
+        cls_name: str,
+    ) -> None:
+        self.b = builder
+        self.ctx = builder.ctx
+        self.fn = fn
+        self.qualname = qualname
+        self.cls_name = cls_name
+        self.effects: dict[str, EffectSite] = {}
+        self.calls: list[CallSite] = []
+        self.mutations: list[MutationSite] = []
+        self.captures: list[CaptureSite] = []
+        args = fn.args
+        self.params = {
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        }
+        if args.vararg is not None:
+            self.params.add(args.vararg.arg)
+        if args.kwarg is not None:
+            self.params.add(args.kwarg.arg)
+        self.globals_decl: set[str] = set()
+        self.nonlocals_decl: set[str] = set()
+        self.local_names: set[str] = set()
+        self.nested_defs: set[str] = set()
+        #: local name → resolved target bound via functools.partial
+        self.partial_bindings: dict[str, tuple[str, str]] = {}
+        self._prescan(fn.body)
+        self.local_names -= self.globals_decl | self.nonlocals_decl
+        for stmt in fn.body:
+            self._walk(stmt, False)
+
+    # -- scope facts ---------------------------------------------------------
+
+    def _prescan(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.nested_defs.add(stmt.name)
+                self.local_names.add(stmt.name)
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self.local_names.add(stmt.name)
+                continue
+            if isinstance(stmt, ast.Global):
+                self.globals_decl.update(stmt.names)
+            elif isinstance(stmt, ast.Nonlocal):
+                self.nonlocals_decl.update(stmt.names)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _collect_names(target, self.local_names)
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                _collect_names(stmt.target, self.local_names)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                _collect_names(stmt.target, self.local_names)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        _collect_names(item.optional_vars, self.local_names)
+            for field_name in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, field_name, None)
+                if isinstance(inner, list):
+                    self._prescan(
+                        [s for s in inner if isinstance(s, ast.stmt)]
+                    )
+            for handler in getattr(stmt, "handlers", None) or []:
+                self._prescan(handler.body)
+
+    def _is_param(self, name: str) -> bool:
+        return name in self.params and name not in ("self", "cls")
+
+    def _is_module_global(self, name: str) -> bool:
+        if name in self.globals_decl:
+            return True
+        return (
+            name in self.b.module_globals
+            and name not in self.local_names
+            and name not in self.params
+        )
+
+    # -- the walk ------------------------------------------------------------
+
+    def _walk(self, node: ast.AST, under_lock: bool) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            locked = under_lock
+            for item in node.items:
+                self._walk(item.context_expr, under_lock)
+                if with_item_locked(item.context_expr, self.b.lock_helpers):
+                    locked = True
+            if locked and not under_lock and isinstance(node, ast.With):
+                # sync lock entry only: `async with` awaits, never blocks
+                self._note("lock", "enters a lock context", node)
+            for stmt in node.body:
+                self._walk(stmt, locked)
+            return
+        if isinstance(node, ast.Call):
+            self._call(node, under_lock)
+        elif isinstance(node, ast.Assign):
+            self._assign(node, under_lock)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            self._target_mutation(node.target, node, under_lock)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._target_mutation(target, node, under_lock)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, under_lock)
+
+    # -- effect recording ----------------------------------------------------
+
+    def _note(self, tag: str, detail: str, node: ast.AST) -> None:
+        if tag in self.effects:
+            return
+        line = getattr(node, "lineno", self.fn.lineno)
+        self.effects[tag] = EffectSite(
+            tag=tag,
+            detail=detail,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            end_line=self.ctx.statement_span(node)[1],
+            snippet=self.ctx.snippet(line),
+        )
+
+    def _attr_mutation(
+        self, attr: str, detail: str, node: ast.AST, under_lock: bool
+    ) -> None:
+        line = getattr(node, "lineno", self.fn.lineno)
+        self.mutations.append(
+            MutationSite(
+                target=attr,
+                kind="attr",
+                detail=detail,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                end_line=self.ctx.statement_span(node)[1],
+                snippet=self.ctx.snippet(line),
+                under_lock=under_lock,
+            )
+        )
+
+    def _global_mutation(
+        self, name: str, detail: str, node: ast.AST, under_lock: bool
+    ) -> None:
+        tag = "memo-write" if _MEMO_NAME_RE.search(name) else "mutates-global"
+        self._note(tag, f"{detail} mutates module global `{name}`", node)
+        line = getattr(node, "lineno", self.fn.lineno)
+        self.mutations.append(
+            MutationSite(
+                target=name,
+                kind="global",
+                detail=detail,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                end_line=self.ctx.statement_span(node)[1],
+                snippet=self.ctx.snippet(line),
+                under_lock=under_lock,
+            )
+        )
+
+    # -- assignments and deletions -------------------------------------------
+
+    def _assign(self, node: ast.Assign, under_lock: bool) -> None:
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+            and self._is_partial(node.value.func)
+            and node.value.args
+        ):
+            ref, _ = self._callable_ref(node.value.args[0])
+            if ref is not None:
+                self.partial_bindings[node.targets[0].id] = ref
+        for target in node.targets:
+            self._target_mutation(target, node, under_lock)
+
+    def _target_mutation(
+        self, target: ast.expr, stmt: ast.AST, under_lock: bool
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._target_mutation(elt, stmt, under_lock)
+            return
+        if isinstance(target, ast.Starred):
+            self._target_mutation(target.value, stmt, under_lock)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_decl:
+                self._global_mutation(target.id, "assignment", stmt, under_lock)
+            elif target.id in self.nonlocals_decl:
+                self._note(
+                    "mutates-nonlocal",
+                    f"assigns enclosing-scope variable `{target.id}`",
+                    stmt,
+                )
+            return
+        attr = self_private_attr(target)
+        if attr is not None:
+            if "lock" not in attr.lower():
+                self._attr_mutation(attr, "assignment to", stmt, under_lock)
+            return
+        base = target
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if isinstance(base, ast.Attribute):
+            root = base.value
+            if isinstance(root, ast.Name) and self._is_param(root.id):
+                self._note(
+                    "mutates-param",
+                    f"assigns an attribute of parameter `{root.id}`",
+                    stmt,
+                )
+            return
+        if isinstance(base, ast.Name):
+            if self._is_module_global(base.id):
+                self._global_mutation(
+                    base.id, "item assignment", stmt, under_lock
+                )
+            elif self._is_param(base.id):
+                self._note(
+                    "mutates-param",
+                    f"assigns into parameter `{base.id}`",
+                    stmt,
+                )
+            elif base.id in self.nonlocals_decl:
+                self._note(
+                    "mutates-nonlocal",
+                    f"mutates enclosing-scope variable `{base.id}`",
+                    stmt,
+                )
+
+    # -- calls ---------------------------------------------------------------
+
+    def _call(self, node: ast.Call, under_lock: bool) -> None:
+        resolved = self._resolve_local_call(node)
+        if resolved is not None:
+            line = node.lineno
+            self.calls.append(
+                CallSite(
+                    module=resolved[0],
+                    name=resolved[1],
+                    line=line,
+                    col=node.col_offset + 1,
+                    snippet=self.ctx.snippet(line),
+                    under_lock=under_lock,
+                )
+            )
+        self._builtin_effects(node)
+        self._mutator_call(node, under_lock)
+        self._capture(node, resolved)
+
+    def _resolve_local_call(self, node: ast.Call) -> tuple[str, str] | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.nested_defs:
+                return (self.b.module, f"{self.qualname}.{func.id}")
+            if func.id in self.partial_bindings:
+                return self.partial_bindings[func.id]
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and self.cls_name
+        ):
+            # self._m(...): a same-class method call — phase 2 resolves
+            # (or discards) the `Class.m` qualname
+            return (self.b.module, f"{self.cls_name}.{func.attr}")
+        return self.b.resolve_call(node)
+
+    def _builtin_effects(self, node: ast.Call) -> None:
+        ctx = self.ctx
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            base = ctx.import_aliases.get(func.value.id)
+            if base == "time":
+                if func.attr in _WALL_CLOCK_TIME_FNS:
+                    self._note(
+                        "wall-clock",
+                        f"reads a clock via `time.{func.attr}()`",
+                        node,
+                    )
+                elif func.attr == "sleep":
+                    self._note(
+                        "blocking", "`time.sleep(...)` blocks the thread", node
+                    )
+            elif base == "subprocess" and func.attr in _SUBPROCESS_FNS:
+                self._note(
+                    "process",
+                    f"spawns a subprocess via `subprocess.{func.attr}(...)`",
+                    node,
+                )
+            elif base == "os" and func.attr == "system":
+                self._note(
+                    "process", "`os.system(...)` spawns a subprocess", node
+                )
+            elif base == "random":
+                self._note(
+                    "rng",
+                    f"draws from the process-global `random.{func.attr}` RNG",
+                    node,
+                )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in RNG_CONSTRUCTORS | {"random", "shuffle", "choice"}
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and ctx.import_aliases.get(func.value.value.id) == "numpy"
+        ):
+            self._note(
+                "rng", f"draws via `numpy.random.{func.attr}(...)`", node
+            )
+        if isinstance(func, ast.Name):
+            origin = ctx.from_imports.get(func.id)
+            if origin is not None:
+                if origin[0] == "time" and origin[1] in _WALL_CLOCK_TIME_FNS:
+                    self._note(
+                        "wall-clock",
+                        f"reads a clock via `{origin[1]}()`",
+                        node,
+                    )
+                elif origin == ("time", "sleep"):
+                    self._note(
+                        "blocking", "`time.sleep(...)` blocks the thread", node
+                    )
+                elif origin[0] == "subprocess" and origin[1] in _SUBPROCESS_FNS:
+                    self._note(
+                        "process",
+                        f"spawns a subprocess via `{origin[1]}(...)`",
+                        node,
+                    )
+                elif origin[0] == "random":
+                    self._note(
+                        "rng",
+                        f"draws from the process-global `random.{origin[1]}`",
+                        node,
+                    )
+            elif func.id == "open":
+                self._note("io", "opens a file handle via `open(...)`", node)
+        if isinstance(func, ast.Attribute):
+            if func.attr in _IO_METHODS and func.attr != "open":
+                self._note("io", f"file IO via `.{func.attr}(...)`", node)
+            elif func.attr == "open" and not isinstance(func.value, ast.Name):
+                pass  # method `open` on a complex receiver: too ambiguous
+            if func.attr == "acquire" and mentions_lock(func):
+                self._note("blocking", "acquires a lock via `.acquire()`", node)
+            elif func.attr in _PROC_WAIT_METHODS and self._receiver_mentions(
+                func.value, ("proc",)
+            ):
+                self._note(
+                    "blocking",
+                    f"waits on a child process via `.{func.attr}()`",
+                    node,
+                )
+            elif func.attr in _BLOCKING_SOCKET_METHODS and self._receiver_mentions(
+                func.value, ("sock", "conn")
+            ):
+                self._note(
+                    "blocking",
+                    f"blocking socket call `.{func.attr}(...)`",
+                    node,
+                )
+
+    @staticmethod
+    def _receiver_mentions(node: ast.expr, needles: tuple[str, ...]) -> bool:
+        for sub in ast.walk(node):
+            text = ""
+            if isinstance(sub, ast.Attribute):
+                text = sub.attr.lower()
+            elif isinstance(sub, ast.Name):
+                text = sub.id.lower()
+            if text and any(needle in text for needle in needles):
+                return True
+        return False
+
+    def _mutator_call(self, node: ast.Call, under_lock: bool) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in MUTATOR_METHODS:
+            return
+        attr = self_private_attr(func.value)
+        if attr is not None:
+            if "lock" not in attr.lower():
+                self._attr_mutation(
+                    attr, f"`.{func.attr}(...)` on", node, under_lock
+                )
+            return
+        base = func.value
+        while isinstance(base, ast.Subscript):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        if self._is_module_global(base.id):
+            self._global_mutation(
+                base.id, f"`.{func.attr}(...)`", node, under_lock
+            )
+        elif self._is_param(base.id):
+            self._note(
+                "mutates-param",
+                f"`.{func.attr}(...)` mutates parameter `{base.id}`",
+                node,
+            )
+        elif base.id in self.nonlocals_decl:
+            self._note(
+                "mutates-nonlocal",
+                f"`.{func.attr}(...)` mutates enclosing-scope `{base.id}`",
+                node,
+            )
+
+    # -- process-boundary captures (REP013) ----------------------------------
+
+    def _is_partial(self, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return self.ctx.from_imports.get(func.id) == ("functools", "partial")
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            return (
+                self.ctx.import_aliases.get(func.value.id) == "functools"
+                and func.attr == "partial"
+            )
+        return False
+
+    def _callable_ref(
+        self, expr: ast.expr
+    ) -> tuple[tuple[str, str] | None, str]:
+        """Resolve a callable argument to a summarized function."""
+        if isinstance(expr, ast.Lambda):
+            return None, "lambda"
+        if isinstance(expr, ast.Name):
+            if expr.id in self.partial_bindings:
+                return self.partial_bindings[expr.id], ""
+            if expr.id in self.nested_defs:
+                return (self.b.module, f"{self.qualname}.{expr.id}"), ""
+            resolved = self.b.resolve_name(expr.id)
+            return resolved, ""
+        if isinstance(expr, ast.Call) and self._is_partial(expr.func) and expr.args:
+            return self._callable_ref(expr.args[0])
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.cls_name
+        ):
+            return (self.b.module, f"{self.cls_name}.{expr.attr}"), ""
+        return None, ""
+
+    def _carrier_candidates(
+        self, node: ast.Call
+    ) -> tuple[tuple[str, str], ...]:
+        out: list[tuple[str, str]] = []
+        exprs = list(node.args) + [kw.value for kw in node.keywords]
+        for expr in exprs:
+            for sub in ast.walk(expr):
+                if not isinstance(sub, ast.Name):
+                    continue
+                cand: tuple[str, str] | None = None
+                if self._is_module_global(sub.id):
+                    cand = (self.b.module, sub.id)
+                elif sub.id in self.b._symbol_imports:
+                    cand = self.b._symbol_imports[sub.id]
+                if cand is not None and cand not in out:
+                    out.append(cand)
+        return tuple(out)
+
+    def _capture(
+        self, node: ast.Call, resolved: tuple[str, str] | None
+    ) -> None:
+        func = node.func
+        bare = ""
+        if isinstance(func, ast.Name):
+            bare = func.id
+        elif isinstance(func, ast.Attribute):
+            bare = func.attr
+        name = resolved[1] if resolved is not None else bare
+        line = node.lineno
+        if name in _FANOUT_FUNCTIONS:
+            fn_ref: tuple[str, str] | None = None
+            local_callable = ""
+            if node.args:
+                fn_ref, local_callable = self._callable_ref(node.args[0])
+            self.captures.append(
+                CaptureSite(
+                    kind="fanout",
+                    line=line,
+                    col=node.col_offset + 1,
+                    end_line=self.ctx.statement_span(node)[1],
+                    snippet=self.ctx.snippet(line),
+                    fn_ref=fn_ref,
+                    local_callable=local_callable,
+                    carrier_candidates=self._carrier_candidates(node),
+                )
+            )
+            return
+        is_pickle = self.ctx.resolves_to(func, "pickle", "dumps") or (
+            name in _PICKLE_FRAME_FUNCTIONS
+        )
+        if is_pickle:
+            candidates = self._carrier_candidates(node)
+            if candidates:
+                self.captures.append(
+                    CaptureSite(
+                        kind="pickle",
+                        line=line,
+                        col=node.col_offset + 1,
+                        end_line=self.ctx.statement_span(node)[1],
+                        snippet=self.ctx.snippet(line),
+                        carrier_candidates=candidates,
+                    )
+                )
+
+
 class _SummaryBuilder:
     def __init__(self, ctx: FileContext) -> None:
         self.ctx = ctx
@@ -429,6 +1209,9 @@ class _SummaryBuilder:
         self._imports: list[str] = []
         self._collect_imports()
         self.prov = _ProvenancePass(ctx, self.resolve_call)
+        self.lock_helpers = lock_helper_names(ctx.tree)
+        self.module_globals = self._collect_module_globals()
+        self._captures: list[CaptureSite] = []
 
     # -- imports ------------------------------------------------------------
 
@@ -461,17 +1244,77 @@ class _SummaryBuilder:
                         alias.name,
                     )
 
+    # -- module-level state --------------------------------------------------
+
+    def _collect_module_globals(self) -> set[str]:
+        names: set[str] = set()
+        for node in self.ctx.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _collect_names(target, names)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                _collect_names(node.target, names)
+        return names
+
+    def _global_carriers(self) -> list[tuple[str, str]]:
+        """Module globals whose initializer holds a lock/socket/handle."""
+        carriers: dict[str, str] = {}
+        for node in self.ctx.tree.body:
+            targets: list[ast.Name] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.value is not None
+            ):
+                targets = [node.target]
+                value = node.value
+            if not targets or value is None:
+                continue
+            detail = self._carrier_detail(value, carriers)
+            if detail:
+                for target in targets:
+                    carriers[target.id] = detail
+        return sorted(carriers.items())
+
+    def _carrier_detail(self, expr: ast.expr, known: dict[str, str]) -> str:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Attribute) and isinstance(
+                    func.value, ast.Name
+                ):
+                    base = self.ctx.import_aliases.get(func.value.id)
+                    if base == "threading" and func.attr in _LOCK_FACTORY_ATTRS:
+                        return f"threading.{func.attr}()"
+                    if base == "socket" and func.attr == "socket":
+                        return "socket.socket()"
+                if isinstance(func, ast.Name):
+                    origin = self.ctx.from_imports.get(func.id)
+                    if origin is not None:
+                        if (
+                            origin[0] == "threading"
+                            and origin[1] in _LOCK_FACTORY_ATTRS
+                        ):
+                            return f"threading.{origin[1]}()"
+                        if origin == ("socket", "socket"):
+                            return "socket.socket()"
+                    elif func.id == "open":
+                        return "open(...)"
+            if isinstance(sub, ast.Name) and sub.id in known:
+                return known[sub.id]
+        return ""
+
     # -- call resolution ----------------------------------------------------
 
     def resolve_call(self, node: ast.Call) -> tuple[str, str] | None:
         """``(module, function)`` a call refers to, when statically clear."""
         func = node.func
         if isinstance(func, ast.Name):
-            if func.id in self._symbol_imports:
-                return self._symbol_imports[func.id]
-            if func.id in self._local_functions:
-                return (self.module, func.id)
-            return None
+            return self.resolve_name(func.id)
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             base = func.value.id
             if base in self._module_aliases:
@@ -482,10 +1325,18 @@ class _SummaryBuilder:
                 return (f"{origin[0]}.{origin[1]}", func.attr)
         return None
 
+    def resolve_name(self, name: str) -> tuple[str, str] | None:
+        """Resolve a bare name to a ``(module, function)``, if clear."""
+        if name in self._symbol_imports:
+            return self._symbol_imports[name]
+        if name in self._local_functions:
+            return (self.module, name)
+        return None
+
     # -- functions ----------------------------------------------------------
 
     def _function_summaries(self) -> Iterator[FunctionSummary]:
-        for node, qualname in self._functions_with_qualnames():
+        for node, qualname, is_method, cls_name in self._functions_with_qualnames():
             returns = self._returns_of(node)
             returns_float = self._annotated_float(node)
             deps: list[tuple[str, str]] = []
@@ -500,24 +1351,87 @@ class _SummaryBuilder:
                     if dep is not None and dep not in deps:
                         deps.append(dep)
                 seed_provs.append(self.prov.prov_of(ret.value))
+            walker = _EffectWalker(self, node, qualname, cls_name)
+            self._captures.extend(walker.captures)
             yield FunctionSummary(
                 qualname=qualname,
                 returns_float=returns_float,
                 return_call_deps=tuple(deps),
                 return_seed_provs=tuple(seed_provs),
                 holds_lock=self._holds_lock(node),
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+                is_method=is_method,
+                line=node.lineno,
+                snippet=self.ctx.snippet(node.lineno),
+                memoized=self._memo_decorator(node),
+                effects=tuple(
+                    walker.effects[tag] for tag in sorted(walker.effects)
+                ),
+                calls=tuple(walker.calls),
+                mutations=tuple(walker.mutations),
             )
 
     def _functions_with_qualnames(
         self,
-    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
-        for node in self.ctx.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield node, node.name
-            elif isinstance(node, ast.ClassDef):
-                for sub in node.body:
-                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        yield sub, f"{node.name}.{sub.name}"
+    ) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool, str]
+    ]:
+        """``(node, qualname, is_method, class name)`` for every ``def``.
+
+        Walks nested functions too (``outer.inner`` qualnames) so effect
+        facts exist for closures handed to pools and memo decorators on
+        inner helpers; ``class name`` propagates into a method's nested
+        functions (their ``self`` is the method's).
+        """
+
+        def walk_body(
+            body: list[ast.stmt], prefix: str, cls_name: str
+        ) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool, str]
+        ]:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{node.name}"
+                    yield node, qual, False, cls_name
+                    yield from walk_body(node.body, f"{qual}.", cls_name)
+                elif isinstance(node, ast.ClassDef):
+                    yield from walk_class(node, prefix)
+
+        def walk_class(
+            cls: ast.ClassDef, prefix: str
+        ) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef, str, bool, str]
+        ]:
+            cls_qual = f"{prefix}{cls.name}"
+            for sub in cls.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{cls_qual}.{sub.name}"
+                    yield sub, qual, True, cls_qual
+                    yield from walk_body(sub.body, f"{qual}.", cls_qual)
+                elif isinstance(sub, ast.ClassDef):
+                    yield from walk_class(sub, f"{cls_qual}.")
+
+        yield from walk_body(self.ctx.tree.body, "", "")
+
+    def _memo_decorator(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> str:
+        for dec in fn.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            if isinstance(target, ast.Name):
+                origin = self.ctx.from_imports.get(target.id)
+                if origin is not None and origin[0] == "functools" and origin[
+                    1
+                ] in ("lru_cache", "cache"):
+                    return f"functools.{origin[1]}"
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                if self.ctx.import_aliases.get(
+                    target.value.id
+                ) == "functools" and target.attr in ("lru_cache", "cache"):
+                    return f"functools.{target.attr}"
+        return ""
 
     @staticmethod
     def _annotated_float(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
@@ -539,11 +1453,10 @@ class _SummaryBuilder:
         return None
 
     def _holds_lock(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
-        from .rules.rep006_lock_discipline import _mentions_lock
-
         for sub in ast.walk(fn):
-            if isinstance(sub, ast.With) and any(
-                _mentions_lock(item.context_expr) for item in sub.items
+            if isinstance(sub, (ast.With, ast.AsyncWith)) and any(
+                with_item_locked(item.context_expr, self.lock_helpers)
+                for item in sub.items
             ):
                 return True
         return False
@@ -614,6 +1527,7 @@ class _SummaryBuilder:
     # -- assembly ------------------------------------------------------------
 
     def build(self) -> ModuleSummary:
+        functions = tuple(self._function_summaries())
         return ModuleSummary(
             module=self.module,
             path=self.ctx.path,
@@ -624,9 +1538,11 @@ class _SummaryBuilder:
                 (name, mod, orig)
                 for name, (mod, orig) in sorted(self._symbol_imports.items())
             ),
-            functions=tuple(self._function_summaries()),
+            functions=functions,
             comparisons=tuple(self._comparison_sites()),
             rng_sites=tuple(self._rng_sites()),
+            global_carriers=tuple(self._global_carriers()),
+            capture_sites=tuple(self._captures),
         )
 
 

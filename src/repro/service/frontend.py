@@ -39,9 +39,10 @@ set (sharding changes cache *architecture*, so eviction patterns under
 pressure legitimately differ).
 """
 
-# repro: noqa-file[REP006] — every object here lives on the single
-# asyncio event-loop thread; there are no concurrent request threads to
-# race with, so lock-guarding this state would be dead weight.
+# repro: noqa-file[REP006, REP010] — every object here lives on the
+# single asyncio event-loop thread; there are no concurrent request
+# threads to race with, so lock-guarding this state (or proving a
+# lock-holding caller chain for it) would be dead weight.
 
 from __future__ import annotations
 
@@ -180,7 +181,12 @@ class _WorkerHandle:
         env = dict(os.environ)
         src_dir = str(Path(__file__).resolve().parent.parent.parent)
         env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
-        self.proc = subprocess.Popen(argv, pass_fds=[child.fileno()], env=env)
+        # blocking Popen is confined to startup and crash-respawn; a
+        # fork+exec pause there is accepted over the complexity of an
+        # executor hop in the spawn path
+        self.proc = subprocess.Popen(  # repro: noqa[REP012]
+            argv, pass_fds=[child.fileno()], env=env
+        )
         child.close()
         self.reader, self.writer = await asyncio.open_connection(sock=parent)
         self._reader_task = asyncio.ensure_future(self._read_loop())

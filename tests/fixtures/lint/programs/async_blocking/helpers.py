@@ -1,0 +1,11 @@
+# lint-fixture-path: src/repro/service/helpers.py
+# lint-expect:
+import time
+
+
+def pause():
+    time.sleep(0.01)
+
+
+def compute(x):
+    return x + 1

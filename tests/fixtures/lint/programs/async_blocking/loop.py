@@ -1,0 +1,14 @@
+# lint-fixture-path: src/repro/service/loop.py
+# lint-expect: REP012@9 REP012@13
+import time
+
+from repro.service.helpers import compute, pause
+
+
+async def tick():
+    time.sleep(0.5)
+
+
+async def poll():
+    pause()
+    return compute(1)

@@ -1,0 +1,9 @@
+# lint-fixture-path: src/repro/service/handler.py
+# lint-expect:
+from repro.service.state import bump
+
+
+def handle(key):
+    # the unlocked cross-module caller that breaks bump's proof: the
+    # finding lands at the mutation site in state.py
+    bump(key)

@@ -1,0 +1,12 @@
+# lint-fixture-path: src/repro/analysis/effects.py
+# lint-expect:
+_TALLY = []
+
+
+def record(value):
+    _TALLY.append(value)
+    return value
+
+
+def identity(value):
+    return value

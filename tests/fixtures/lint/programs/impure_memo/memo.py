@@ -1,0 +1,16 @@
+# lint-fixture-path: src/repro/analysis/memo.py
+# lint-expect: REP011@9
+from functools import lru_cache
+
+from repro.analysis.effects import identity, record
+
+
+@lru_cache(maxsize=None)
+def cached_record(value):
+    return record(value)
+
+
+@lru_cache(maxsize=None)
+def cached_identity(value):
+    # clean: the wrapped chain is pure
+    return identity(value)

@@ -1,0 +1,20 @@
+# lint-fixture-path: src/repro/analysis/campaign.py
+# lint-expect: REP013@12 REP013@20
+import threading
+
+from repro.analysis.trials import bad_trial, good_trial
+from repro.runner.executor import run_trials
+
+_POOL_LOCK = threading.Lock()
+
+
+def bad_campaign(points):
+    return run_trials(bad_trial, points)
+
+
+def good_campaign(points):
+    return run_trials(good_trial, points)
+
+
+def lock_leak(points):
+    return run_trials(good_trial, points, label=_POOL_LOCK)

@@ -1,0 +1,12 @@
+# lint-fixture-path: src/repro/analysis/trials.py
+# lint-expect:
+_TALLY = []
+
+
+def bad_trial(point):
+    _TALLY.append(point)
+    return point
+
+
+def good_trial(point):
+    return point * 2

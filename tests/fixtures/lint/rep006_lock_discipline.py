@@ -1,6 +1,7 @@
 # lint-fixture-path: src/repro/service/fixture_rep006.py
-# lint-expect: REP006@15 REP006@19 REP006@23
+# lint-expect: REP006@16 REP006@20 REP006@24 REP006@49
 import threading
+from contextlib import contextmanager
 
 
 class Metrics:
@@ -29,3 +30,20 @@ class Metrics:
     def snapshot(self):
         # reads are the caller's problem; only mutations are flagged
         return dict(self._entries)
+
+    @contextmanager
+    def _guard(self):
+        with self._lock:
+            yield
+
+    def record_via_helper(self):
+        # the historical blind spot: the lock is entered inside a
+        # contextmanager helper rather than written inline — holding
+        # `with self._guard():` counts as holding the lock
+        with self._guard():
+            self._hits += 1
+
+    def record_helper_call_only(self):
+        # calling the helper without `with` acquires nothing
+        self._guard()
+        self._hits += 1

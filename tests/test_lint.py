@@ -15,6 +15,7 @@ Layers covered:
 
 from __future__ import annotations
 
+import ast
 import json
 import re
 import textwrap
@@ -34,12 +35,14 @@ from repro.lint import (
     run_self_test,
 )
 from repro.lint.baseline import BaselineEntry
-from repro.lint.engine import LintResult
+from repro.lint.callgraph import IMPURE_TAGS, ProjectGraph
+from repro.lint.engine import LintResult, attach_parents
 from repro.lint.findings import Finding
 from repro.lint.noqa import NoqaScanner
-from repro.lint.registry import ProgramRule, resolve_selection
+from repro.lint.registry import FileContext, ProgramRule, resolve_selection
 from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.selftest import PLANTED_CASES, PLANTED_PROGRAMS
+from repro.lint.summaries import build_module_summary
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
@@ -170,6 +173,13 @@ class TestMetaLint:
         assert result.unused_suppressions == [], "\n".join(
             s.render() for s in result.unused_suppressions
         )
+
+    def test_committed_baseline_is_empty(self):
+        """Every accepted exception must be an inline ``noqa`` with a
+        justification comment, never a baseline entry: the committed
+        baseline stays empty so new debt can't hide in it."""
+        data = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+        assert data["findings"] == []
 
 
 class TestNoqa:
@@ -474,6 +484,19 @@ class TestCLI:
         ]) == 1
         assert "unused noqa" in capsys.readouterr().out
 
+    def test_stats_phase2_line(self, tmp_path, capsys):
+        root = self._write_violation(tmp_path)
+        main([
+            "lint", str(root / "src"), "--root", str(root),
+            "--no-baseline", "--stats",
+        ])
+        out = capsys.readouterr().out
+        phase2 = [ln for ln in out.splitlines() if ln.startswith("phase2:")]
+        assert len(phase2) == 1
+        assert re.search(r"\d+ effect-fixpoint iteration", phase2[0])
+        # per-rule timings ride on the same line, keyed by rule id
+        assert re.search(r"REP\d{3}=\d+\.\d+ms", phase2[0])
+
     def test_sarif_output_parses(self, tmp_path, capsys):
         root = self._write_violation(tmp_path)
         main([
@@ -677,6 +700,63 @@ class TestCacheAndParallel:
         assert result.stats.cache_hits == result.stats.files - 2
         # the interprocedural finding is still there
         assert "REP007" in {f.rule for f in result.findings}
+
+    def test_effect_facts_invalidate_through_import_graph(self, tmp_path):
+        """Phase-2 effect facts must track *transitive* edits: making a
+        helper impure resurfaces REP011 at an unchanged memoized caller
+        in another module on the next warm run."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        helper = pkg / "helper.py"
+        helper.write_text("def weigh(n):\n    return n * 2\n")
+        (pkg / "consume.py").write_text(
+            "from functools import lru_cache\n"
+            "\n"
+            "from repro.core.helper import weigh\n"
+            "\n"
+            "\n"
+            "@lru_cache(maxsize=None)\n"
+            "def cached_weigh(n):\n"
+            "    return weigh(n)\n"
+        )
+        cache = tmp_path / "lint-cache.pickle"
+        clean = lint_paths(
+            ["src"], self._config(tmp_path, cache_path=cache)
+        )
+        assert clean.findings == []
+
+        # helper turns impure; consume.py is byte-identical but its
+        # cached analysis must be invalidated via the import graph and
+        # the recomputed fixpoint must carry the new effect into REP011
+        helper.write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "def weigh(n):\n"
+            "    return n * time.time()\n"
+        )
+        result = lint_paths(
+            ["src"], self._config(tmp_path, cache_path=cache)
+        )
+        assert result.stats.cache_invalidated == 1  # consume.py, by imports
+        rep011 = [f for f in result.findings if f.rule == "REP011"]
+        assert [(f.path, f.line) for f in rep011] == [
+            ("src/repro/core/consume.py", 7)
+        ]
+        assert "wall-clock" in rep011[0].message
+
+    def test_fixpoint_iterations_surface_in_stats(self, tmp_path):
+        root = _make_project(tmp_path)
+        result = lint_paths(["src"], self._config(root))
+        # REP011 queries effects for every function, so the fixpoint ran
+        assert result.stats.fixpoint_iterations >= 1
+        stats_json = json.loads(render_json(result))["stats"]
+        assert (
+            stats_json["fixpoint_iterations"]
+            == result.stats.fixpoint_iterations
+        )
+        # wall-clock timings would break bit-identity across runs
+        assert "rule_timings" not in stats_json
 
     def test_cache_discarded_on_rule_selection_change(self, tmp_path):
         root = _make_project(tmp_path)
@@ -987,3 +1067,173 @@ class TestTypeInferEdgeCases:
             """
         )
         assert lint_source(src, "src/repro/core/x.py") == []
+
+
+def _effect_graph(files: dict[str, str]) -> ProjectGraph:
+    """Build a :class:`ProjectGraph` straight from module summaries —
+    the raw substrate the REP010-013 rules query."""
+    summaries = []
+    for path, source in files.items():
+        tree = ast.parse(source)
+        attach_parents(tree)
+        summaries.append(build_module_summary(FileContext(path, source, tree)))
+    return ProjectGraph(summaries)
+
+
+class TestEffectEdgeCases:
+    """Corner cases of effect extraction and propagation: async
+    generators, ``functools.partial``, decorated functions, contextmanager
+    lock helpers, and re-exported callables (the mirror image of the
+    typeinfer edge-case suite above)."""
+
+    def test_async_generator_keeps_blocking_effect(self):
+        src = textwrap.dedent(
+            """\
+            import time
+
+
+            async def stream(xs):
+                for x in xs:
+                    time.sleep(0.01)
+                    yield x
+            """
+        )
+        graph = _effect_graph({"src/repro/service/agen.py": src})
+        effects = graph.effects("repro.service.agen", "stream")
+        assert "blocking" in effects
+        # and REP012 reports it at the call site inside the generator
+        findings = lint_sources({"src/repro/service/agen.py": src})
+        assert [(f.rule, f.line) for f in findings] == [("REP012", 6)]
+
+    def test_partial_binding_resolves_to_wrapped_callable(self):
+        src = textwrap.dedent(
+            """\
+            from functools import partial
+
+            _TALLY = []
+
+
+            def record(x):
+                _TALLY.append(x)
+
+
+            def driver(xs):
+                rec = partial(record)
+                for x in xs:
+                    rec(x)
+            """
+        )
+        graph = _effect_graph({"src/repro/core/part.py": src})
+        effects = graph.effects("repro.core.part", "driver")
+        assert "mutates-global" in effects
+        detail, chain = effects["mutates-global"]
+        assert chain == ("repro.core.part.record",)
+
+    def test_decorator_does_not_swallow_effects(self):
+        src = textwrap.dedent(
+            """\
+            import functools
+
+            _N = 0
+
+
+            def logged(fn):
+                @functools.wraps(fn)
+                def inner(*args, **kwargs):
+                    return fn(*args, **kwargs)
+
+                return inner
+
+
+            @logged
+            def touch():
+                global _N
+                _N += 1
+
+
+            def caller():
+                touch()
+            """
+        )
+        graph = _effect_graph({"src/repro/core/deco.py": src})
+        # the decorated definition keeps its own effects...
+        assert "mutates-global" in graph.effects("repro.core.deco", "touch")
+        # ...and they propagate through calls to the decorated name
+        effects = graph.effects("repro.core.deco", "caller")
+        assert "mutates-global" in effects
+        assert effects["mutates-global"][1] == ("repro.core.deco.touch",)
+
+    def test_contextmanager_lock_helper_discharges_rep010(self):
+        helper = textwrap.dedent(
+            """\
+            import threading
+            from contextlib import contextmanager
+
+            _LOCK = threading.Lock()
+            _STATE = {}
+
+
+            @contextmanager
+            def guard():
+                with _LOCK:
+                    yield
+
+
+            def set_item(key, value):
+                with guard():
+                    _STATE[key] = value
+            """
+        )
+        path = "src/repro/service/cmlock.py"
+        graph = _effect_graph({path: helper})
+        # the helper-wrapped block still counts as lock-holding
+        assert "lock" in graph.effects("repro.service.cmlock", "set_item")
+        assert lint_sources({path: helper}) == []
+
+        # the same mutation behind a *non*-contextmanager helper is not
+        # proven locked: REP010 fires
+        unguarded = helper.replace("@contextmanager\n", "")
+        findings = lint_sources({path: unguarded})
+        assert [f.rule for f in findings] == ["REP010"]
+
+    def test_reexported_callable_resolves_to_definition(self):
+        files = {
+            "src/repro/core/impl.py": textwrap.dedent(
+                """\
+                import time
+
+
+                def stamp():
+                    return time.time()
+                """
+            ),
+            "src/repro/core/__init__.py": (
+                "from repro.core.impl import stamp\n"
+            ),
+            "src/repro/analysis/use.py": textwrap.dedent(
+                """\
+                from functools import lru_cache
+
+                from repro.core import stamp
+
+
+                @lru_cache(maxsize=None)
+                def cached_stamp():
+                    return stamp()
+                """
+            ),
+        }
+        graph = _effect_graph(files)
+        # effects flow through the package __init__ re-export
+        effects = graph.effects("repro.analysis.use", "cached_stamp")
+        assert "wall-clock" in effects
+        assert effects["wall-clock"][1] == ("repro.core.impl.stamp",)
+        rep011 = [f for f in lint_sources(files) if f.rule == "REP011"]
+        assert [(f.path, f.line) for f in rep011] == [
+            ("src/repro/analysis/use.py", 7)
+        ]
+
+    def test_impure_tags_exclude_lock_and_memo_write(self):
+        # pinned: holding a lock or writing a cache is not value-impurity
+        assert "lock" not in IMPURE_TAGS
+        assert "memo-write" not in IMPURE_TAGS
