@@ -17,14 +17,20 @@ ask:
   over project-internal import edges (REP009);
 * what a function's **transitive effect set** is (REP011/REP012) — own
   effects plus everything reachable over resolved call edges, computed
-  as a monotone set-once-per-tag fixpoint over the whole program; and
+  as a monotone set-once-per-tag fixpoint over the whole program;
 * who calls ``module.function`` and from under which locks (REP010's
-  caller-chain lock proof, REP013's fan-out provenance).
+  caller-chain lock proof, REP013's fan-out provenance); and
+* what **dimension** ``module.function`` returns (REP014-017) — a
+  Kleene fixpoint from all-``unknown`` over every function's return
+  dimension term.  The evaluator is monotone (``unknown`` absorbs), so
+  each function's fact moves at most once and the iteration converges
+  in at most ``#functions + 1`` deterministic rounds.
 """
 
 from __future__ import annotations
 
-from .summaries import CallSite, EffectSite, ModuleSummary, SeedProv
+from .summaries import CallSite, EffectSite, ModuleSummary, SeedProv, UnitSite
+from .unitinfer import UNKNOWN, dims_clash, eval_term
 
 __all__ = ["ProjectGraph"]
 
@@ -88,6 +94,13 @@ class ProjectGraph:
         ] | None = None
         self._caller_index: dict[
             tuple[str, str], list[tuple[tuple[str, str], CallSite]]
+        ] | None = None
+        #: rounds the unit fixpoint took to converge (0 until computed;
+        #: surfaced by ``repro lint --stats``)
+        self.unit_iterations: int = 0
+        self._return_dim_memo: dict[tuple[str, str], str] | None = None
+        self._unit_mismatch_memo: list[
+            tuple[ModuleSummary, UnitSite, str, str]
         ] | None = None
 
     # -- symbol resolution ---------------------------------------------------
@@ -284,6 +297,91 @@ class ProjectGraph:
                         changed = True
         self.effect_iterations = rounds
         return facts
+
+    # -- return-dimension fixpoint (REP014-017) ------------------------------
+
+    def return_dim(self, module: str, name: str) -> str:
+        """Dimension ``module.name`` returns (``unknown`` when unproven)."""
+        if self._return_dim_memo is None:
+            self._return_dim_memo = self._compute_return_dims()
+        resolved = self.resolve(module, name)
+        if resolved is None:
+            return UNKNOWN
+        return self._return_dim_memo.get(resolved, UNKNOWN)
+
+    def eval_dim(self, term: tuple) -> str:
+        """Evaluate a phase-1 dimension term against the fixpoint facts."""
+        return eval_term(term, self.return_dim)
+
+    def _compute_return_dims(self) -> dict[tuple[str, str], str]:
+        """Kleene iteration from all-``unknown`` over return-dim terms.
+
+        The term evaluator is monotone — ``unknown`` absorbs through
+        every operator — so a function's fact moves at most once
+        (``unknown`` → concrete) and never oscillates; cycles simply
+        stay ``unknown``.  The deterministic order (sorted modules,
+        definition order within each) makes the round count a pure
+        function of the summaries, reproducible across ``--jobs``
+        values and cache states.
+        """
+        dims: dict[tuple[str, str], str] = {}
+        order: list[tuple[tuple[str, str], tuple]] = []
+        for module in sorted(self._functions):
+            for qualname, fn in self._functions[module].items():
+                key = (module, qualname)
+                dims[key] = UNKNOWN
+                term = fn.return_dim_term  # type: ignore[attr-defined]
+                if term is not None:
+                    order.append((key, term))
+
+        def lookup(mod: str, name: str) -> str:
+            resolved = self.resolve(mod, name)
+            if resolved is None:
+                return UNKNOWN
+            return dims.get(resolved, UNKNOWN)
+
+        rounds = 0
+        changed = True
+        while changed:
+            changed = False
+            rounds += 1
+            for key, term in order:
+                value = eval_term(term, lookup)
+                if value != dims[key]:
+                    dims[key] = value
+                    changed = True
+        self.unit_iterations = rounds
+        return dims
+
+    def unit_mismatches(
+        self,
+    ) -> list[tuple[ModuleSummary, UnitSite, str, str]]:
+        """Every recorded unit site whose operand dimensions clash.
+
+        Evaluated once per run (REP014 and REP017 partition the same
+        list); module order is sorted, site order is the deterministic
+        phase-1 walk order.
+        """
+        if self._unit_mismatch_memo is None:
+            out: list[tuple[ModuleSummary, UnitSite, str, str]] = []
+            for module in sorted(self.modules):
+                summary = self.modules[module]
+                for site in summary.unit_sites:
+                    left = self.eval_dim(site.left)
+                    right = self.eval_dim(site.right)
+                    if dims_clash(left, right):
+                        out.append((summary, site, left, right))
+            self._unit_mismatch_memo = out
+        return self._unit_mismatch_memo
+
+    def param_expectations(
+        self, module: str, name: str
+    ) -> tuple[tuple[str, ...], dict[str, str]]:
+        """``(positional order, name → expected dim)`` for a callee."""
+        fn = self.function(module, name)
+        if fn is None:
+            return (), {}
+        return fn.param_order, dict(fn.param_dims)  # type: ignore[attr-defined]
 
     # -- caller index (REP010, REP013) ---------------------------------------
 

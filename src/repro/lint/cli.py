@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 from pathlib import Path
 
-from .baseline import Baseline
+from .baseline import Baseline, BaselineEntry
 from .config import DEFAULT_BASELINE, config_from_sources
 from .engine import lint_changed, lint_paths
 from .reporters import FORMATS, render
@@ -74,6 +75,14 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="write current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file in place without its stale "
+            "entries (those matching no current finding) and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--show-unused-noqa",
         action="store_true",
         help=(
@@ -121,7 +130,8 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help=(
             "print execution stats: phase-1 (files, cache hits, jobs) "
-            "and phase-2 (effect-fixpoint iterations, per-rule timing)"
+            "and phase-2 (effect- and unit-fixpoint iterations, "
+            "per-rule timing)"
         ),
     )
     parser.add_argument(
@@ -143,6 +153,33 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
             "each is caught at the right file/line"
         ),
     )
+
+
+def _prune_baseline(path: Path, stale: list[BaselineEntry]) -> int:
+    """Rewrite ``path`` minus its stale entries, multiset-aware.
+
+    Identical fingerprints are removed exactly as many times as they
+    are stale, mirroring how :meth:`Baseline.absorb` consumes them.
+    """
+    stale_counts: Counter[tuple[str, str, str]] = Counter(
+        e.fingerprint for e in stale
+    )
+    loaded = Baseline.load(path)
+    kept: list[BaselineEntry] = []
+    removed = 0
+    for entry in loaded.entries:
+        fp = entry.fingerprint
+        if stale_counts[fp] > 0:
+            stale_counts[fp] -= 1
+            removed += 1
+        else:
+            kept.append(entry)
+    Baseline(kept).save(path)
+    print(
+        f"pruned {removed} stale entr(y/ies) from {path}; "
+        f"{len(kept)} kept"
+    )
+    return 0
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -181,6 +218,16 @@ def run_lint(args: argparse.Namespace) -> int:
         )
         return 0
 
+    if args.prune_baseline:
+        if config.baseline_path is None:
+            print(
+                "repro lint: --prune-baseline needs a baseline file "
+                "(none given and none found)",
+                file=sys.stderr,
+            )
+            return 2
+        return _prune_baseline(config.baseline_path, result.stale_baseline)
+
     print(render(result, args.format, show_unused=args.show_unused_noqa))
     if args.stats:
         s = result.stats
@@ -194,7 +241,8 @@ def run_lint(args: argparse.Namespace) -> int:
             for rule, secs in sorted(s.rule_timings.items())
         )
         print(
-            f"phase2: {s.fixpoint_iterations} effect-fixpoint "
+            f"phase2: {s.fixpoint_iterations} effect-fixpoint + "
+            f"{s.unit_fixpoint_iterations} unit-fixpoint "
             f"iteration(s){'; ' + timings if timings else ''}"
         )
     code = result.exit_code(fail_on_unused=args.show_unused_noqa)

@@ -76,6 +76,9 @@ class EngineStats:
     #: rounds the phase-2 effect fixpoint took to converge (deterministic
     #: for a given program, so safe to expose in machine-readable output)
     fixpoint_iterations: int = 0
+    #: rounds the phase-2 unit (return-dimension) fixpoint took — also
+    #: a pure function of the summaries, deterministic across jobs/cache
+    unit_fixpoint_iterations: int = 0
     #: wall-clock seconds per program rule, keyed by rule id — timing
     #: noise, so surfaced only by the CLI ``--stats`` line and kept out
     #: of :meth:`as_dict` (JSON output stays bit-identical across runs)
@@ -89,6 +92,7 @@ class EngineStats:
             "cache_invalidated": self.cache_invalidated,
             "jobs": self.jobs,
             "fixpoint_iterations": self.fixpoint_iterations,
+            "unit_fixpoint_iterations": self.unit_fixpoint_iterations,
         }
 
 
@@ -260,6 +264,7 @@ def _run_phase2(
             stats.rule_timings[rule.id] = perf_counter() - started
     if stats is not None:
         stats.fixpoint_iterations = graph.effect_iterations
+        stats.unit_fixpoint_iterations = graph.unit_iterations
     return by_path
 
 

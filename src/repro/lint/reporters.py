@@ -1,4 +1,5 @@
-"""Render a :class:`LintResult` as text, JSON, or SARIF 2.1.0."""
+"""Render a :class:`LintResult` as text, JSON, SARIF 2.1.0, or GitHub
+workflow commands (``::error`` annotations on the PR diff)."""
 
 from __future__ import annotations
 
@@ -8,7 +9,14 @@ import json
 from .engine import LintResult
 from .registry import all_rules
 
-__all__ = ["render", "render_text", "render_json", "render_sarif", "FORMATS"]
+__all__ = [
+    "render",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "render_github",
+    "FORMATS",
+]
 
 _SARIF_SCHEMA = (
     "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -145,10 +153,54 @@ def render_sarif(result: LintResult) -> str:
     return json.dumps(document, indent=2)
 
 
+def _gh_escape_data(value: str) -> str:
+    """Escape a workflow-command message (the part after ``::``)."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _gh_escape_property(value: str) -> str:
+    """Escape a workflow-command property value (``file=``, ``title=``)."""
+    return (
+        _gh_escape_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions ``::error`` workflow commands, one per finding.
+
+    Printed to an Actions job log these become inline annotations on
+    the pull-request diff — no SARIF upload round-trip needed.  The
+    final summary line is plain text, which Actions passes through.
+    """
+    lines: list[str] = []
+    for path, message in result.parse_errors:
+        lines.append(
+            f"::error file={_gh_escape_property(path)}::"
+            + _gh_escape_data(f"parse error: {message}")
+        )
+    for finding in result.findings:
+        props = (
+            f"file={_gh_escape_property(finding.path)}"
+            f",line={finding.line}"
+            f",endLine={finding.last_line}"
+            f",col={finding.col}"
+            f",title={_gh_escape_property(finding.rule)}"
+        )
+        lines.append(
+            f"::error {props}::"
+            + _gh_escape_data(f"[{finding.rule}] {finding.message}")
+        )
+    lines.append(
+        f"{len(result.findings)} finding(s) in {result.files} file(s)"
+    )
+    return "\n".join(lines)
+
+
 FORMATS = {
     "text": render_text,
     "json": lambda result, **_: render_json(result),
     "sarif": lambda result, **_: render_sarif(result),
+    "github": lambda result, **_: render_github(result),
 }
 
 

@@ -16,6 +16,10 @@ from . import (  # noqa: F401 - registration side effects
     rep011_impure_memo,
     rep012_async_blocking,
     rep013_process_capture,
+    rep014_mixed_dimension,
+    rep015_absolute_tolerance,
+    rep016_dimension_call,
+    rep017_unnormalized_speed,
 )
 
 __all__ = [
@@ -32,4 +36,8 @@ __all__ = [
     "rep011_impure_memo",
     "rep012_async_blocking",
     "rep013_process_capture",
+    "rep014_mixed_dimension",
+    "rep015_absolute_tolerance",
+    "rep016_dimension_call",
+    "rep017_unnormalized_speed",
 ]

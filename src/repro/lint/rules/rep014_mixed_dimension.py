@@ -1,0 +1,77 @@
+"""REP014 — mixed-dimension arithmetic/comparison.
+
+Everything this repo computes is arithmetic over typed quantities:
+work (``wcet`` at unit speed), time (``period``, ``deadline``, QPA
+test points), speed and rate (both work/time).  Adding a utilization
+to a deadline, or comparing a demand bound against a machine speed,
+is meaningless no matter how the floats round — yet Python happily
+evaluates it, and the result only shows up as a subtly wrong campaign
+curve.
+
+Phase 1 records every ``+``/``-``/comparison whose operands both carry
+unit information (a concrete dimension inferred from domain-model
+attributes, parameter names and arithmetic propagation, or a term
+depending on a project function's return dimension).  Phase 2 closes
+return dimensions over the call graph with a Kleene fixpoint and flags
+the sites where two *concrete* dimensions with different exponent
+vectors meet.  ``unknown`` never fires, and ``speed`` vs ``rate``
+(same work/time vector) is the core feasibility test — always allowed.
+
+The work-vs-time special case has its own rule (REP017): that mismatch
+almost always means a missing division by machine speed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from ..unitinfer import TIME, WORK
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["MixedDimension"]
+
+
+@register
+class MixedDimension(ProgramRule):
+    id = "REP014"
+    name = "mixed-dimension"
+    summary = (
+        "Arithmetic or comparison between quantities of different "
+        "dimensions (e.g. time vs rate)"
+    )
+    rationale = (
+        "Adding a utilization to a deadline or comparing demand to a "
+        "speed type-checks as float arithmetic but is dimensionally "
+        "meaningless; the unit fixpoint proves both operand dimensions, "
+        "including through cross-module return values, so the mix is a "
+        "lint-time error instead of a wrong curve in a campaign plot."
+    )
+    default_paths = ("repro/core/", "repro/baselines/", "repro/kernels/")
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        for summary, site, left, right in program.unit_mismatches():
+            if {left, right} == {WORK, TIME}:
+                continue  # REP017's finding: unnormalized speed
+            action = (
+                "mixed in arithmetic"
+                if site.context == "arith"
+                else f"compared with `{site.op_text}`"
+            )
+            yield Finding(
+                path=summary.path,
+                line=site.line,
+                col=site.col,
+                rule=self.id,
+                message=(
+                    f"`{site.left_display}` is {left}-dimensioned but "
+                    f"`{site.right_display}` is {right}-dimensioned; "
+                    f"quantities of different dimensions cannot be "
+                    f"{action}"
+                ),
+                snippet=site.snippet,
+                end_line=site.end_line,
+            )

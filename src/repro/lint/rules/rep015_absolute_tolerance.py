@@ -1,0 +1,87 @@
+"""REP015 — absolute tolerance on a scaled quantity.
+
+The worst bug this repo ever shipped (fixed in PR 8) was exactly this
+shape::
+
+    if t < task.deadline - EPS:          # absolute eps vs time
+        return 0.0
+    jobs = math.floor((t - task.deadline) / task.period + EPS) + 1
+
+QPA test points and dbf horizons reach ``1e12`` for harmonic-ish
+periods, where ``1e-9`` is *below one ulp*: the guard silently behaves
+like a bare ``<`` and the floor can absorb a whole job.  The sanctioned
+forms are the scale-aware helpers — ``leq``/``lt``/``geq``/``close``
+and ``tol_floor``, which all scale ``EPS`` by ``max(1.0, |x|)`` — or a
+manually scaled epsilon like ``EPS * max(1.0, abs(t))``.
+
+Phase 1 records every addition/subtraction of a *bare* epsilon (a tiny
+float literal, or an eps-named constant that is not itself scaled)
+inside a comparison or floor-like call.  A site fires when the other
+operand provably carries ``work``/``time`` scale: locally (a time-
+dimension leaf inside the expression, like the ``(t - d) / p`` quotient
+above) or through a project call's return dimension via the phase-2
+unit fixpoint.  Utilizations, densities and speeds are O(1) by
+construction, so absolute epsilons next to them stay legal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from ..unitinfer import TIME, WORK
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["AbsoluteTolerance"]
+
+
+@register
+class AbsoluteTolerance(ProgramRule):
+    id = "REP015"
+    name = "absolute-tolerance"
+    summary = (
+        "Bare epsilon added to a work/time-scale value; use the "
+        "scale-aware helpers (leq/lt/tol_floor)"
+    )
+    rationale = (
+        "An absolute epsilon next to a quantity that grows with the "
+        "hyperperiod is below one ulp near 1e12 — the historical dbf() "
+        "boundary bug.  The tolerance helpers scale EPS by "
+        "max(1.0, |x|); anything else silently degrades to exact "
+        "comparison at large scale."
+    )
+    default_paths = ("repro/core/", "repro/baselines/", "repro/kernels/")
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        for module in sorted(program.modules):
+            summary = program.modules[module]
+            for site in summary.eps_sites:
+                dim = site.lineage_dim
+                if not dim:
+                    partner = program.eval_dim(site.partner)
+                    if partner not in (WORK, TIME):
+                        continue
+                    dim = partner
+                where = (
+                    "decides a comparison"
+                    if site.context == "compare"
+                    else "feeds a floor/ceil boundary"
+                )
+                yield Finding(
+                    path=summary.path,
+                    line=site.line,
+                    col=site.col,
+                    rule=self.id,
+                    message=(
+                        f"absolute tolerance `{site.eps_display}` against "
+                        f"the {dim}-scale value `{site.partner_display}` "
+                        f"{where}; at hyperperiod scale this is below one "
+                        "ulp — use `leq`/`lt`/`tol_floor` or scale by "
+                        "`max(1.0, abs(x))`"
+                    ),
+                    snippet=site.snippet,
+                    end_line=site.end_line,
+                )

@@ -1,0 +1,90 @@
+"""REP016 — dimension-mismatched call argument.
+
+The per-expression rule (REP014) cannot see across a call boundary:
+``admit(task.period, speed)`` is dimensionally fine *locally* — the
+mismatch only exists because ``admit``'s first parameter, defined in
+another module, is a utilization.  Swapped ``(period, deadline)``
+arguments and ``wcet``-for-``utilization`` confusions are exactly the
+bug class the heterogeneous-machines baselines keep re-growing.
+
+Phase 1 records, at every statically resolved project call, the
+dimension term of each argument that carries unit information, and —
+on the callee side — a per-parameter *expectation*: the dimension
+implied by the parameter's name (``t``, ``speed``, ``util``, ...), an
+``int`` annotation, or a consistent usage pattern inside the body
+(a bare parameter added to or compared against a known-dimension
+operand).  Phase 2 joins the two facts across the project graph and
+flags arguments whose concrete dimension clashes with the callee's
+concrete expectation.  Either side being ``unknown`` stays silent, and
+``speed`` vs ``rate`` share an exponent vector — passing a total
+utilization where a capacity is expected is the feasibility test
+itself, not a bug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from ..unitinfer import dims_clash
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["DimensionMismatchedCall"]
+
+
+@register
+class DimensionMismatchedCall(ProgramRule):
+    id = "REP016"
+    name = "dimension-mismatched-call"
+    summary = (
+        "Call argument's dimension clashes with the callee parameter's "
+        "expected dimension"
+    )
+    rationale = (
+        "Passing a period where a utilization is expected type-checks "
+        "and runs; the call graph knows the callee's parameter "
+        "expectation even when it lives in another module, so the "
+        "swapped argument is caught at lint time instead of as a wrong "
+        "feasibility verdict."
+    )
+    default_paths = ("repro/core/", "repro/baselines/", "repro/kernels/")
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        for module in sorted(program.modules):
+            summary = program.modules[module]
+            for site in summary.unit_calls:
+                order, expected = program.param_expectations(
+                    site.module, site.name
+                )
+                if not expected:
+                    continue
+                for label, display, term in site.args:
+                    if label.isdigit():
+                        index = int(label)
+                        if index >= len(order):
+                            continue
+                        param = order[index]
+                    else:
+                        param = label
+                    want = expected.get(param)
+                    if want is None:
+                        continue
+                    got = program.eval_dim(term)
+                    if not dims_clash(got, want):
+                        continue
+                    yield Finding(
+                        path=summary.path,
+                        line=site.line,
+                        col=site.col,
+                        rule=self.id,
+                        message=(
+                            f"argument `{display}` is {got}-dimensioned "
+                            f"but parameter `{param}` of `{site.name}()` "
+                            f"expects a {want}-dimensioned value"
+                        ),
+                        snippet=site.snippet,
+                        end_line=site.end_line,
+                    )

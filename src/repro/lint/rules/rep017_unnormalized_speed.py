@@ -1,0 +1,72 @@
+"""REP017 — work compared against time without speed normalization.
+
+On a unit-speed machine, demand (work) and interval length (time) are
+numerically interchangeable — ``dbf(tasks, t) <= t`` looks right and
+*is* right for speed 1.  On a heterogeneous platform it is the classic
+porting bug: the feasibility test is ``demand <= speed * t`` (or
+equivalently ``demand / speed <= t``), and the unnormalized form
+silently admits task sets that overload slow machines.  This is the
+single-machine test of Bonifaci & Marchetti-Spaccamela generalized to
+machine speeds, and every baseline we reproduce has to apply the
+normalization somewhere.
+
+The mechanism is REP014's unit fixpoint; this rule owns the one
+mismatch pair — ``work`` on one side, ``time`` on the other — because
+its fix is specific and mechanical: divide the work by the machine
+``speed`` (or multiply the interval by it) before comparing.  All
+other dimension mixes stay REP014's findings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..findings import Finding
+from ..registry import ProgramRule, register
+from ..unitinfer import TIME, WORK
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..callgraph import ProjectGraph
+
+__all__ = ["UnnormalizedSpeed"]
+
+
+@register
+class UnnormalizedSpeed(ProgramRule):
+    id = "REP017"
+    name = "unnormalized-speed"
+    summary = (
+        "Work compared/mixed with time without dividing by machine speed"
+    )
+    rationale = (
+        "demand <= t is only correct at unit speed; on a heterogeneous "
+        "platform the test is demand <= speed * t.  The unit fixpoint "
+        "proves one side is work and the other time — a missing speed "
+        "normalization, caught even when the demand is computed in "
+        "another module."
+    )
+    default_paths = ("repro/core/", "repro/baselines/", "repro/kernels/")
+
+    def check_program(self, program: "ProjectGraph") -> Iterator[Finding]:
+        for summary, site, left, right in program.unit_mismatches():
+            if {left, right} != {WORK, TIME}:
+                continue  # any other mix is REP014's finding
+            work_side = (
+                site.left_display if left == WORK else site.right_display
+            )
+            time_side = (
+                site.left_display if left == TIME else site.right_display
+            )
+            yield Finding(
+                path=summary.path,
+                line=site.line,
+                col=site.col,
+                rule=self.id,
+                message=(
+                    f"`{work_side}` is work but `{time_side}` is time; "
+                    "normalize by the machine speed first "
+                    "(`work / speed` vs time, or work vs `speed * t`)"
+                ),
+                snippet=site.snippet,
+                end_line=site.end_line,
+            )

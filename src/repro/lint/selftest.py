@@ -385,6 +385,130 @@ PLANTED_PROGRAMS: tuple[PlantedProgram, ...] = (
         path="src/repro/analysis/planted_rep013.py",
         line=6,
     ),
+    # REP014: the subtraction mixes time with a *rate* — but the rate
+    # arrives as another module's return value, so only the unit
+    # fixpoint over the call graph can prove the mismatch.
+    PlantedProgram(
+        rule="REP014",
+        files=(
+            (
+                "src/repro/core/planted_totals.py",
+                textwrap.dedent(
+                    """\
+                    def total_utilization(tasks):
+                        return sum(t.utilization for t in tasks)
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/planted_rep014.py",
+                textwrap.dedent(
+                    """\
+                    from repro.core.planted_totals import total_utilization
+
+
+                    def remaining(tasks, deadline):
+                        return deadline - total_utilization(tasks)
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/core/planted_rep014.py",
+        line=5,
+    ),
+    # REP015: the pre-PR-8 dbf() bug shape — an absolute epsilon against
+    # a time-scale value.  The time dimension is only known through the
+    # callee's return term, one module away.
+    PlantedProgram(
+        rule="REP015",
+        files=(
+            (
+                "src/repro/core/planted_horizon.py",
+                textwrap.dedent(
+                    """\
+                    def busy_horizon(tasks):
+                        return max(t.deadline for t in tasks)
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/planted_rep015.py",
+                textwrap.dedent(
+                    """\
+                    from repro.core.planted_horizon import busy_horizon
+
+
+                    def within(tasks, x):
+                        return x < busy_horizon(tasks) - 1e-9
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/core/planted_rep015.py",
+        line=5,
+    ),
+    # REP016: the caller passes a period (time) into a parameter whose
+    # name marks it as a utilization (rate) — parameter expectation and
+    # argument dimension live in different modules.
+    PlantedProgram(
+        rule="REP016",
+        files=(
+            (
+                "src/repro/core/planted_admit.py",
+                textwrap.dedent(
+                    """\
+                    def admit(utilization, speed):
+                        return utilization <= speed
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/planted_rep016.py",
+                textwrap.dedent(
+                    """\
+                    from repro.core.planted_admit import admit
+
+
+                    def check(task):
+                        return admit(task.period, 1.0)
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/core/planted_rep016.py",
+        line=5,
+    ),
+    # REP017: total demand (work) compared straight against a horizon
+    # (time) — the missing speed normalization only provable once the
+    # callee's work dimension crosses the module boundary.
+    PlantedProgram(
+        rule="REP017",
+        files=(
+            (
+                "src/repro/core/planted_total_demand.py",
+                textwrap.dedent(
+                    """\
+                    def total_demand(tasks):
+                        return sum(t.wcet for t in tasks)
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/planted_rep017.py",
+                textwrap.dedent(
+                    """\
+                    from repro.core.planted_total_demand import total_demand
+
+
+                    def fits(tasks, horizon):
+                        return total_demand(tasks) < horizon
+                    """
+                ),
+            ),
+        ),
+        path="src/repro/core/planted_rep017.py",
+        line=5,
+    ),
 )
 
 

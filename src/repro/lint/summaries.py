@@ -26,6 +26,19 @@ from typing import Iterator
 
 from .registry import FileContext
 from .typeinfer import FLOAT
+from .unitinfer import (
+    DIMENSIONLESS,
+    SCALED_DIMS,
+    TIME,
+    UNKNOWN,
+    WORK,
+    UnitInference,
+    dims_clash,
+    is_bare_epsilon_literal,
+    param_dim_for,
+    term_has_call,
+    term_join,
+)
 
 __all__ = [
     "SeedProv",
@@ -36,6 +49,9 @@ __all__ = [
     "CallSite",
     "MutationSite",
     "CaptureSite",
+    "UnitSite",
+    "EpsSite",
+    "UnitCallSite",
     "ModuleSummary",
     "MUTATOR_METHODS",
     "lock_helper_names",
@@ -71,6 +87,25 @@ _DERIVING_METHODS = frozenset({"generate_state", "spawn", "integers"})
 RNG_CONSTRUCTORS = frozenset({"default_rng", "Generator", "PCG64", "SeedSequence"})
 
 _FLAGGED_CMP_OPS = {ast.LtE: "<=", ast.GtE: ">=", ast.Eq: "=="}
+
+#: comparison operators whose operands must share a dimension (REP014/
+#: REP017 sites; membership/identity tests carry no dimension)
+_UNIT_CMP_OPS = {
+    ast.Lt: "<",
+    ast.LtE: "<=",
+    ast.Gt: ">",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+}
+
+#: names that denote an epsilon/tolerance constant (REP015 input)
+_EPS_NAME_RE = re.compile(r"(^|_)(eps|epsilon)($|_)", re.IGNORECASE)
+
+#: floor-like calls: a bare epsilon inside one converts a boundary test
+#: into a job-count change (the historical ``dbf()`` bug shape);
+#: ``tol_floor`` is deliberately absent — it *is* the scale-aware fix
+_FLOOR_LIKE_FUNCS = frozenset({"floor", "ceil", "trunc", "int", "round"})
 
 #: module-global names that denote a memo/cache/scratch structure —
 #: writes to them are bookkeeping (``memo-write``), not impurity, as
@@ -327,6 +362,76 @@ class CaptureSite:
 
 
 @dataclass(frozen=True)
+class UnitSite:
+    """An addition/subtraction/comparison whose operands carry units.
+
+    Recorded when both operands are *informative* — a concrete scaled
+    dimension or a term depending on a project call's return dimension.
+    Phase 2 evaluates both terms and flags the site (REP014/REP017)
+    only when two concrete scaled dimensions with different exponent
+    vectors meet.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    snippet: str
+    op_text: str
+    #: ``arith`` (``+``/``-``) or ``compare``
+    context: str
+    #: dimension terms (picklable tuple trees; see unitinfer)
+    left: tuple
+    right: tuple
+    left_display: str = ""
+    right_display: str = ""
+
+
+@dataclass(frozen=True)
+class EpsSite:
+    """A bare epsilon added/subtracted from a scale-carrying value.
+
+    The pre-PR-8 ``dbf()`` bug class (REP015): an *absolute* tolerance
+    next to a ``time``/``work``-dimension expression inside a
+    comparison or floor-like call, where the scale-aware ``leq``/
+    ``lt``/``tol_floor`` helpers should have been used.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    snippet: str
+    #: ``compare`` or ``floor``
+    context: str
+    eps_display: str
+    #: dimension term of the non-epsilon operand
+    partner: tuple
+    partner_display: str = ""
+    #: a sub-expression of the partner already carries this scaled
+    #: dimension locally (fires without the call graph)
+    lineage_dim: str = ""
+
+
+@dataclass(frozen=True)
+class UnitCallSite:
+    """A resolved project call with dimension-carrying arguments.
+
+    Phase 2 joins each argument's dimension against the callee's
+    parameter expectation (REP016) — the facts live in different
+    modules by construction.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    snippet: str
+    #: locally resolved target (phase 2 follows re-export chains)
+    module: str
+    name: str
+    #: ``(positional index or keyword name, display, dimension term)``
+    args: tuple[tuple[str, str, tuple], ...] = ()
+
+
+@dataclass(frozen=True)
 class FunctionSummary:
     """Interprocedural facts about one function or method."""
 
@@ -359,6 +464,14 @@ class FunctionSummary:
     calls: tuple[CallSite, ...] = ()
     #: shared-state mutation sites (REP010 input)
     mutations: tuple[MutationSite, ...] = ()
+    #: dimension term joined over every ``return <expr>`` — the unit
+    #: fixpoint's per-function unknown; ``None`` when nothing returns
+    return_dim_term: tuple | None = None
+    #: parameter names in positional order (call-argument mapping)
+    param_order: tuple[str, ...] = ()
+    #: ``(param name, expected dimension)`` for parameters whose name,
+    #: annotation or local usage implies a dimension (REP016 input)
+    param_dims: tuple[tuple[str, str], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -411,6 +524,12 @@ class ModuleSummary:
     global_carriers: tuple[tuple[str, str], ...] = ()
     #: fan-out / pickle-frame sites found anywhere in the module
     capture_sites: tuple[CaptureSite, ...] = ()
+    #: unit-bearing arithmetic/comparison sites (REP014/REP017 input)
+    unit_sites: tuple[UnitSite, ...] = ()
+    #: bare-epsilon sites (REP015 input)
+    eps_sites: tuple[EpsSite, ...] = ()
+    #: resolved calls with dimension-carrying arguments (REP016 input)
+    unit_calls: tuple[UnitCallSite, ...] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -457,6 +576,13 @@ def _resolve_from_import(
 # ---------------------------------------------------------------------------
 # seed provenance
 # ---------------------------------------------------------------------------
+
+
+def _informative_term(term: tuple) -> bool:
+    """Worth recording: concrete scaled, or awaiting a call's dimension."""
+    if term[0] == "dim":
+        return term[1] in SCALED_DIMS
+    return term_has_call(term)
 
 
 def _unparse(node: ast.AST, limit: int = 40) -> str:
@@ -1209,6 +1335,7 @@ class _SummaryBuilder:
         self._imports: list[str] = []
         self._collect_imports()
         self.prov = _ProvenancePass(ctx, self.resolve_call)
+        self.units = UnitInference(ctx.tree, self.resolve_call)
         self.lock_helpers = lock_helper_names(ctx.tree)
         self.module_globals = self._collect_module_globals()
         self._captures: list[CaptureSite] = []
@@ -1353,6 +1480,11 @@ class _SummaryBuilder:
                 seed_provs.append(self.prov.prov_of(ret.value))
             walker = _EffectWalker(self, node, qualname, cls_name)
             self._captures.extend(walker.captures)
+            return_terms = [
+                self.units.term_of(ret.value)
+                for ret in returns
+                if ret.value is not None
+            ]
             yield FunctionSummary(
                 qualname=qualname,
                 returns_float=returns_float,
@@ -1369,6 +1501,11 @@ class _SummaryBuilder:
                 ),
                 calls=tuple(walker.calls),
                 mutations=tuple(walker.mutations),
+                return_dim_term=(
+                    term_join(return_terms) if return_terms else None
+                ),
+                param_order=self._param_order(node),
+                param_dims=self._param_dims(node),
             )
 
     def _functions_with_qualnames(
@@ -1524,6 +1661,248 @@ class _SummaryBuilder:
                 prov=prov,
             )
 
+    # -- unit facts ----------------------------------------------------------
+
+    def _param_order(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[str, ...]:
+        args = fn.args
+        return tuple(a.arg for a in [*args.posonlyargs, *args.args])
+
+    def _param_dims(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> tuple[tuple[str, str], ...]:
+        """Scaled-dimension expectations for this function's parameters."""
+        assigned = self._assigned_names(fn)
+        out: list[tuple[str, str]] = []
+        args = fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            dim = param_dim_for(arg)
+            if dim is None and arg.arg not in assigned:
+                dim = self._usage_dim(fn, arg.arg)
+            if dim is not None and dim in SCALED_DIMS:
+                out.append((arg.arg, dim))
+        return tuple(out)
+
+    @staticmethod
+    def _assigned_names(fn: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    _collect_names(target, names)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign, ast.For)):
+                _collect_names(sub.target, names)
+            elif isinstance(sub, ast.NamedExpr):
+                _collect_names(sub.target, names)
+        return names
+
+    def _usage_dim(self, fn: ast.AST, param: str) -> str | None:
+        """Dimension implied by adding/comparing the bare parameter.
+
+        Only a *consistent* vector across every such usage counts; a
+        parameter mixed with several scales stays expectation-free.
+        """
+        candidates: list[str] = []
+        for node in ast.walk(fn):
+            pairs: list[tuple[ast.expr, ast.expr]] = []
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                pairs.append((node.left, node.right))
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for i, op in enumerate(node.ops):
+                    if type(op) in _UNIT_CMP_OPS:
+                        pairs.append((operands[i], operands[i + 1]))
+            for left, right in pairs:
+                for a, b in ((left, right), (right, left)):
+                    if isinstance(a, ast.Name) and a.id == param:
+                        term = self.units.term_of(b)
+                        if term[0] == "dim" and term[1] in SCALED_DIMS:
+                            candidates.append(term[1])
+        if not candidates:
+            return None
+        first = candidates[0]
+        if any(dims_clash(first, dim) for dim in candidates[1:]):
+            return None
+        return first
+
+    def _unit_sites(self) -> Iterator[UnitSite]:
+        for node in ast.walk(self.ctx.tree):
+            pairs: list[tuple[ast.expr, ast.expr, str, str]] = []
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                op_text = "+" if isinstance(node.op, ast.Add) else "-"
+                pairs.append((node.left, node.right, op_text, "arith"))
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for i, op in enumerate(node.ops):
+                    cmp_text = _UNIT_CMP_OPS.get(type(op))
+                    if cmp_text is not None:
+                        pairs.append(
+                            (operands[i], operands[i + 1], cmp_text, "compare")
+                        )
+            if not pairs:
+                continue
+            env = self.units.env_for(node)
+            for left, right, op_text, context in pairs:
+                left_term = self.units.term_in_env(left, env)
+                right_term = self.units.term_in_env(right, env)
+                if not (
+                    _informative_term(left_term)
+                    and _informative_term(right_term)
+                ):
+                    continue
+                if (
+                    left_term[0] == "dim"
+                    and right_term[0] == "dim"
+                    and not dims_clash(left_term[1], right_term[1])
+                ):
+                    continue  # locally proven compatible
+                line = node.lineno
+                yield UnitSite(
+                    line=line,
+                    col=node.col_offset + 1,
+                    end_line=self.ctx.statement_span(node)[1],
+                    snippet=self.ctx.snippet(line),
+                    op_text=op_text,
+                    context=context,
+                    left=left_term,
+                    right=right_term,
+                    left_display=_unparse(left),
+                    right_display=_unparse(right),
+                )
+
+    def _eps_sites(self) -> Iterator[EpsSite]:
+        for node in ast.walk(self.ctx.tree):
+            if not (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+            ):
+                continue
+            env = self.units.env_for(node)
+            for eps, partner in (
+                (node.right, node.left),
+                (node.left, node.right),
+            ):
+                if not self._is_bare_eps(eps, env):
+                    continue
+                if self._is_bare_eps(partner, env):
+                    break  # eps-to-eps arithmetic carries no scale
+                context = self._eps_context(node)
+                if not context:
+                    break
+                partner_term = self.units.term_in_env(partner, env)
+                lineage = self._scaled_lineage(partner, env)
+                if partner_term[0] == "dim":
+                    dim = partner_term[1]
+                    if dim in SCALED_DIMS and dim not in (WORK, TIME):
+                        break  # utilization/speed are O(1): absolute eps is fine
+                    if dim not in (WORK, TIME) and not lineage:
+                        break  # no scale evidence at all
+                line = node.lineno
+                yield EpsSite(
+                    line=line,
+                    col=node.col_offset + 1,
+                    end_line=self.ctx.statement_span(node)[1],
+                    snippet=self.ctx.snippet(line),
+                    context=context,
+                    eps_display=_unparse(eps),
+                    partner=partner_term,
+                    partner_display=_unparse(partner),
+                    lineage_dim=lineage,
+                )
+                break
+
+    def _is_bare_eps(self, node: ast.expr, env: dict) -> bool:
+        """An unscaled epsilon: a tiny literal or an eps-named constant."""
+        if is_bare_epsilon_literal(node):
+            return True
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return False
+        if not _EPS_NAME_RE.search(name):
+            return False
+        # a *scaled* epsilon (`tol = EPS * max(1.0, abs(t))`) folds to a
+        # concrete scaled dimension and is exactly the sanctioned form
+        term = self.units.term_in_env(node, env)
+        return term in (("dim", DIMENSIONLESS), ("dim", UNKNOWN))
+
+    def _eps_context(self, node: ast.BinOp) -> str:
+        """``compare``/``floor`` when the epsilon decides a boundary."""
+        cur: ast.AST = node
+        for parent in self.ctx.parents(node):
+            if isinstance(parent, ast.stmt):
+                return ""
+            if isinstance(parent, ast.Compare):
+                return "compare"
+            if isinstance(parent, ast.Call) and cur is not parent.func:
+                func = parent.func
+                if isinstance(func, ast.Name):
+                    fname = func.id
+                elif isinstance(func, ast.Attribute):
+                    fname = func.attr
+                else:
+                    fname = ""
+                if fname in _FLOOR_LIKE_FUNCS:
+                    return "floor"
+                return ""  # the call result, not our operand, is compared
+            cur = parent
+        return ""
+
+    def _scaled_lineage(self, partner: ast.expr, env: dict) -> str:
+        """First ``work``/``time`` dimension found inside the partner.
+
+        ``(t - d) / p`` folds to dimensionless, but its ``t`` leaf
+        proves the quotient was built from time-scale values — the
+        historical ``floor(q + EPS)`` shape.
+        """
+        for sub in ast.walk(partner):
+            if isinstance(sub, ast.expr):
+                term = self.units.term_in_env(sub, env)
+                if term[0] == "dim" and term[1] in (WORK, TIME):
+                    return term[1]
+        return ""
+
+    def _unit_call_sites(self) -> Iterator[UnitCallSite]:
+        for node in ast.walk(self.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self.resolve_call(node)
+            if resolved is None:
+                continue
+            env = self.units.env_for(node)
+            args: list[tuple[str, str, tuple]] = []
+            for i, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                term = self.units.term_in_env(arg, env)
+                if _informative_term(term):
+                    args.append((str(i), _unparse(arg), term))
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                term = self.units.term_in_env(kw.value, env)
+                if _informative_term(term):
+                    args.append((kw.arg, _unparse(kw.value), term))
+            if not args:
+                continue
+            line = node.lineno
+            yield UnitCallSite(
+                line=line,
+                col=node.col_offset + 1,
+                end_line=self.ctx.statement_span(node)[1],
+                snippet=self.ctx.snippet(line),
+                module=resolved[0],
+                name=resolved[1],
+                args=tuple(args),
+            )
+
     # -- assembly ------------------------------------------------------------
 
     def build(self) -> ModuleSummary:
@@ -1543,6 +1922,9 @@ class _SummaryBuilder:
             rng_sites=tuple(self._rng_sites()),
             global_carriers=tuple(self._global_carriers()),
             capture_sites=tuple(self._captures),
+            unit_sites=tuple(self._unit_sites()),
+            eps_sites=tuple(self._eps_sites()),
+            unit_calls=tuple(self._unit_call_sites()),
         )
 
 

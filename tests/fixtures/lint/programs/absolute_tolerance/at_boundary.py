@@ -1,0 +1,26 @@
+# lint-fixture-path: src/repro/core/at_boundary.py
+# lint-expect: REP015@11 REP015@15 REP015@21
+import math
+
+from repro.core.at_horizon import qpa_horizon
+
+EPS = 1e-9
+
+
+def reaches(tasks, x):
+    return x < qpa_horizon(tasks) - EPS
+
+
+def old_dbf_guard(task, t):
+    if t < task.deadline - EPS:
+        return 0.0
+    return 1.0
+
+
+def old_dbf_jobs(task, t):
+    return math.floor((t - task.deadline) / task.period + EPS) + 1
+
+
+def scaled_ok(task, t):
+    # epsilon scaled by the operand's magnitude: clean
+    return t < task.deadline - EPS * max(1.0, abs(task.deadline))

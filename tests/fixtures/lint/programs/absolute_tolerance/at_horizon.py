@@ -1,0 +1,4 @@
+# lint-fixture-path: src/repro/core/at_horizon.py
+# lint-expect:
+def qpa_horizon(tasks):
+    return max(t.deadline for t in tasks)

@@ -1,0 +1,4 @@
+# lint-fixture-path: src/repro/core/dc_admit.py
+# lint-expect:
+def admit(utilization, speed):
+    return utilization <= speed

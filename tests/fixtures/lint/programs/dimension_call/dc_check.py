@@ -1,0 +1,11 @@
+# lint-fixture-path: src/repro/core/dc_check.py
+# lint-expect: REP016@7
+from repro.core.dc_admit import admit
+
+
+def check_bad(task, platform):
+    return admit(task.period, platform.fastest_speed)
+
+
+def check_ok(task, platform):
+    return admit(task.utilization, platform.fastest_speed)

@@ -1,0 +1,17 @@
+# lint-fixture-path: src/repro/core/ud_mix.py
+# lint-expect: REP014@7
+from repro.core.ud_totals import busy_window, total_utilization
+
+
+def bad_slack(tasks, deadline):
+    return deadline - total_utilization(tasks)
+
+
+def capacity_headroom(tasks, speed):
+    # rate vs speed share an exponent vector: the feasibility test, clean
+    return speed - total_utilization(tasks)
+
+
+def window_headroom(tasks, horizon):
+    # time vs time: clean
+    return horizon - busy_window(tasks)

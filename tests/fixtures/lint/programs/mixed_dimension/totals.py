@@ -1,0 +1,8 @@
+# lint-fixture-path: src/repro/core/ud_totals.py
+# lint-expect:
+def total_utilization(tasks):
+    return sum(t.utilization for t in tasks)
+
+
+def busy_window(tasks):
+    return max(t.deadline for t in tasks)

@@ -1,0 +1,4 @@
+# lint-fixture-path: src/repro/core/us_demand.py
+# lint-expect:
+def total_demand(tasks):
+    return sum(t.wcet for t in tasks)

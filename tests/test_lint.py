@@ -9,8 +9,9 @@ Layers covered:
   at the right file/line);
 * the meta-test: ``repro lint src/`` on this very repository is clean
   modulo the committed baseline;
-* unit tests for suppressions, baseline fingerprint matching, the three
-  reporters (including SARIF 2.1.0 shape), selection, and the CLI.
+* unit tests for suppressions, baseline fingerprint matching, the
+  reporters (text, JSON, SARIF 2.1.0, GitHub workflow commands),
+  selection, and the CLI.
 """
 
 from __future__ import annotations
@@ -40,7 +41,12 @@ from repro.lint.engine import LintResult, attach_parents
 from repro.lint.findings import Finding
 from repro.lint.noqa import NoqaScanner
 from repro.lint.registry import FileContext, ProgramRule, resolve_selection
-from repro.lint.reporters import render_json, render_sarif, render_text
+from repro.lint.reporters import (
+    render_github,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.selftest import PLANTED_CASES, PLANTED_PROGRAMS
 from repro.lint.summaries import build_module_summary
 
@@ -404,6 +410,26 @@ class TestReporters:
         assert changed != original["runs"][0]["results"][0][
             "partialFingerprints"]
 
+    def test_github_format(self):
+        out = render_github(self._result())
+        lines = out.splitlines()
+        assert lines[0] == (
+            "::error file=src/repro/core/x.py,line=3,endLine=3,col=5,"
+            "title=REP001::[REP001] bare float comparison"
+        )
+        assert lines[-1] == "1 finding(s) in 2 file(s)"
+
+    def test_github_format_escapes_workflow_metacharacters(self):
+        result = LintResult(files=1)
+        result.findings = [Finding(
+            path="src/repro/core/x.py", line=3, col=1, rule="REP001",
+            message="50% slower\r\nthan `x`", snippet="s",
+        )]
+        first = render_github(result).splitlines()[0]
+        # %, CR and LF must travel as %25 / %0D / %0A or the workflow
+        # command is cut short at the first raw newline
+        assert "[REP001] 50%25 slower%0D%0Athan `x`" in first
+
     def test_sarif_rule_index_consistent(self):
         doc = json.loads(render_sarif(self._result()))
         run = doc["runs"][0]
@@ -471,6 +497,57 @@ class TestCLI:
         ]) == 1
         assert "stale baseline entry" in capsys.readouterr().out
 
+    def test_prune_baseline_drops_only_stale(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        keep = pkg / "keep.py"
+        gone = pkg / "gone.py"
+        keep.write_text("def f(a: float, b: float):\n    return a <= b\n")
+        gone.write_text("def g(a: float, b: float):\n    return a >= b\n")
+        baseline = tmp_path / "lint-baseline.json"
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+            "--write-baseline", str(baseline),
+        ]) == 0
+        assert len(json.loads(baseline.read_text())["findings"]) == 2
+        gone.write_text("x = 1\n")  # one entry is now stale
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+            "--baseline", str(baseline), "--prune-baseline",
+        ]) == 0
+        assert "pruned 1 stale" in capsys.readouterr().out
+        data = json.loads(baseline.read_text())
+        assert [e["path"] for e in data["findings"]] == [
+            "src/repro/core/keep.py"
+        ]
+        # the pruned baseline still absorbs the live finding — and no
+        # longer trips the stale-entry failure mode
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+            "--baseline", str(baseline), "--show-unused-noqa",
+        ]) == 0
+
+    def test_prune_baseline_requires_baseline(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("x = 1\n")
+        assert main([
+            "lint", str(tmp_path / "src"), "--root", str(tmp_path),
+            "--prune-baseline",
+        ]) == 2
+        assert "needs a baseline" in capsys.readouterr().err
+
+    def test_github_format_via_cli(self, tmp_path, capsys):
+        root = self._write_violation(tmp_path)
+        code = main([
+            "lint", str(root / "src"), "--root", str(root), "--no-baseline",
+            "--format", "github",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/repro/core/bad.py,line=2," in out
+        assert "[REP001]" in out
+
     def test_unused_noqa_reported_via_flag(self, tmp_path, capsys):
         pkg = tmp_path / "src" / "repro" / "core"
         pkg.mkdir(parents=True)
@@ -493,7 +570,9 @@ class TestCLI:
         out = capsys.readouterr().out
         phase2 = [ln for ln in out.splitlines() if ln.startswith("phase2:")]
         assert len(phase2) == 1
-        assert re.search(r"\d+ effect-fixpoint iteration", phase2[0])
+        assert re.search(
+            r"\d+ effect-fixpoint \+ \d+ unit-fixpoint iteration", phase2[0]
+        )
         # per-rule timings ride on the same line, keyed by rule id
         assert re.search(r"REP\d{3}=\d+\.\d+ms", phase2[0])
 
@@ -1237,3 +1316,193 @@ class TestEffectEdgeCases:
         # pinned: holding a lock or writing a cache is not value-impurity
         assert "lock" not in IMPURE_TAGS
         assert "memo-write" not in IMPURE_TAGS
+
+
+_UNIT_HELPERS = textwrap.dedent(
+    """\
+    def total_utilization(tasks):
+        return sum(t.utilization for t in tasks)
+
+
+    def total_demand(tasks):
+        return sum(t.wcet for t in tasks)
+
+
+    def busy_window(tasks):
+        return max(t.deadline for t in tasks)
+
+
+    def admit(utilization, speed):
+        return utilization <= speed
+    """
+)
+
+#: one caller per unit rule; the violation is always on line 5 and a
+#: ``{noqa}`` placeholder rides on that line for the suppression tests
+_UNIT_VIOLATIONS = {
+    "REP014": (
+        "from repro.core.helpers import total_utilization\n"
+        "\n"
+        "\n"
+        "def slack(tasks, deadline):\n"
+        "    return deadline - total_utilization(tasks){noqa}\n"
+    ),
+    "REP015": (
+        "from repro.core.helpers import busy_window\n"
+        "\n"
+        "\n"
+        "def within(tasks, x):\n"
+        "    return x < busy_window(tasks) - 1e-9{noqa}\n"
+    ),
+    "REP016": (
+        "from repro.core.helpers import admit\n"
+        "\n"
+        "\n"
+        "def check(task):\n"
+        "    return admit(task.period, 1.0){noqa}\n"
+    ),
+    "REP017": (
+        "from repro.core.helpers import total_demand\n"
+        "\n"
+        "\n"
+        "def fits(tasks, t):\n"
+        "    return total_demand(tasks) < t{noqa}\n"
+    ),
+}
+
+
+class TestUnitRules:
+    """REP014–REP017 end-to-end: suppression, cache invalidation, and
+    determinism of the interprocedural unit fixpoint."""
+
+    def _project(self, tmp_path, rule, noqa):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "helpers.py").write_text(_UNIT_HELPERS)
+        (pkg / "caller.py").write_text(
+            _UNIT_VIOLATIONS[rule].format(noqa=noqa)
+        )
+        return tmp_path
+
+    @pytest.mark.parametrize("rule", sorted(_UNIT_VIOLATIONS))
+    def test_fires_without_noqa(self, tmp_path, rule):
+        root = self._project(tmp_path, rule, "")
+        result = lint_paths(["src"], LintConfig(root=root))
+        assert [(f.rule, f.path, f.line) for f in result.findings] == [
+            (rule, "src/repro/core/caller.py", 5)
+        ]
+
+    @pytest.mark.parametrize("rule", sorted(_UNIT_VIOLATIONS))
+    def test_noqa_suppresses_and_counts_used(self, tmp_path, rule):
+        root = self._project(
+            tmp_path, rule, f"  # repro: noqa[{rule}]"
+        )
+        result = lint_paths(
+            ["src"], LintConfig(root=root, show_unused_noqa=True)
+        )
+        assert result.findings == []
+        assert result.suppressed == 1
+        assert result.unused_suppressions == []
+
+    def test_noqa_on_clean_line_is_unused(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "helpers.py").write_text(_UNIT_HELPERS)
+        (pkg / "caller.py").write_text(
+            "from repro.core.helpers import total_demand\n"
+            "\n"
+            "\n"
+            "def fits(tasks, t, speed):\n"
+            "    return total_demand(tasks) / speed < t"
+            "  # repro: noqa[REP017]\n"
+        )
+        result = lint_paths(
+            ["src"], LintConfig(root=tmp_path, show_unused_noqa=True)
+        )
+        # work / speed is a time: dimensionally clean, so the
+        # suppression matched nothing and must be reported
+        assert result.findings == []
+        assert [(u.path, u.line) for u in result.unused_suppressions] == [
+            ("src/repro/core/caller.py", 5)
+        ]
+
+    def test_unit_facts_invalidate_through_import_graph(self, tmp_path):
+        """Pinned: phase-2 unit facts track *transitive* edits.  Giving
+        a helper a work-dimensioned return resurfaces REP017 at a
+        byte-identical caller in another module on the next warm run."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        helper = pkg / "helper.py"
+        helper.write_text(
+            "def total_demand(tasks):\n"
+            "    return len(tasks) * 1.0\n"
+        )
+        (pkg / "consume.py").write_text(
+            "from repro.core.helper import total_demand\n"
+            "\n"
+            "\n"
+            "def fits(tasks, t):\n"
+            "    return total_demand(tasks) < t\n"
+        )
+        cache = tmp_path / "lint-cache.pickle"
+        clean = lint_paths(
+            ["src"], LintConfig(root=tmp_path, cache_path=cache)
+        )
+        assert clean.findings == []
+
+        # the helper now returns a work-dimensioned demand; consume.py
+        # is unchanged, but its recorded comparison must be re-judged
+        # against the new return dimension
+        helper.write_text(
+            "def total_demand(tasks):\n"
+            "    return sum(t.wcet for t in tasks)\n"
+        )
+        result = lint_paths(
+            ["src"], LintConfig(root=tmp_path, cache_path=cache)
+        )
+        assert result.stats.cache_invalidated == 1  # consume.py, via imports
+        assert [(f.rule, f.path, f.line) for f in result.findings] == [
+            ("REP017", "src/repro/core/consume.py", 5)
+        ]
+        assert "normalize by the machine speed" in result.findings[0].message
+
+    def test_unit_rules_bit_identical_across_jobs_and_cache(self, tmp_path):
+        """The acceptance criterion: REP014–REP017 JSON is bit-identical
+        across ``--jobs 1``/``--jobs 4`` and cold/warm cache (stats
+        aside), and the unit fixpoint converges in the same number of
+        rounds every run."""
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "helpers.py").write_text(_UNIT_HELPERS)
+        for rule, src in _UNIT_VIOLATIONS.items():
+            (pkg / f"use_{rule.lower()}.py").write_text(src.format(noqa=""))
+        cache = tmp_path / "lint-cache.pickle"
+        serial = lint_paths(["src"], LintConfig(root=tmp_path))
+        cold = lint_paths(
+            ["src"], LintConfig(root=tmp_path, jobs=4, cache_path=cache)
+        )
+        warm = lint_paths(
+            ["src"], LintConfig(root=tmp_path, jobs=4, cache_path=cache)
+        )
+        assert warm.stats.cache_hits == warm.stats.files
+        assert {f.rule for f in serial.findings} == set(_UNIT_VIOLATIONS)
+        payloads = []
+        for run in (serial, cold, warm):
+            data = json.loads(render_json(run))
+            assert (
+                data["stats"]["unit_fixpoint_iterations"]
+                == serial.stats.unit_fixpoint_iterations
+            )
+            data.pop("stats")
+            payloads.append(json.dumps(data, sort_keys=True))
+        assert payloads[0] == payloads[1] == payloads[2]
+
+    def test_unit_fixpoint_iterations_surface_in_stats(self, tmp_path):
+        root = self._project(tmp_path, "REP017", "")
+        result = lint_paths(["src"], LintConfig(root=root))
+        assert result.stats.unit_fixpoint_iterations >= 1
+        stats_json = json.loads(render_json(result))["stats"]
+        assert (
+            stats_json["unit_fixpoint_iterations"]
+            == result.stats.unit_fixpoint_iterations
+        )
